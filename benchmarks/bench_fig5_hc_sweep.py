@@ -1,0 +1,61 @@
+"""Figure 5: hammer count versus RowHammer bit-flip rate.
+
+Observation 4: the relationship is linear on a log-log scale.
+Observation 5: newer DDR4 nodes have higher flip rates at the same HC.
+"""
+
+from conftest import print_banner
+
+from repro.analysis.figures import build_figure5_hc_sweep
+from repro.analysis.report import format_table
+from repro.core.sweeps import hammer_count_sweep, loglog_slope
+
+HAMMER_COUNTS = (15_000, 25_000, 40_000, 65_000, 100_000, 150_000)
+
+
+def test_fig5_hammer_count_sweep(benchmark, representative_chips):
+    chips = {
+        key: chip for key, chip in representative_chips.items() if chip.is_rowhammerable()
+    }
+
+    def run():
+        return [hammer_count_sweep(chip, hammer_counts=HAMMER_COUNTS) for chip in chips.values()]
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    figure5 = build_figure5_hc_sweep(sweeps)
+
+    print_banner("Figure 5: bit-flip rate vs. hammer count (per configuration)")
+    rows = []
+    for (type_node, manufacturer), series in sorted(figure5.items()):
+        rows.append(
+            [f"{type_node}/{manufacturer}"]
+            + [f"{series.get(hc, 0.0):.2e}" for hc in HAMMER_COUNTS]
+        )
+    print(format_table(["configuration"] + [str(hc) for hc in HAMMER_COUNTS], rows))
+
+    slopes = {s.chip_id: loglog_slope(s) for s in sweeps}
+    print("\nlog-log slopes:", {k: round(v, 2) for k, v in slopes.items() if v is not None})
+
+    # Observation 4: log-log-linear growth with a clearly positive slope for
+    # every chip that produced enough points to fit one; chips with only a
+    # couple of flipping points (weak DDR3 chips, on-die-ECC noise) are not
+    # asserted on individually.
+    well_sampled = [
+        slopes[s.chip_id]
+        for s in sweeps
+        if slopes[s.chip_id] is not None and sum(1 for p in s.points if p.flip_rate > 0) >= 3
+    ]
+    assert well_sampled
+    assert sum(well_sampled) / len(well_sampled) > 2.0
+
+    # Observation 5: newer DDR4 chips flip more at the same hammer count.
+    for manufacturer in ("A", "C"):
+        old = figure5.get(("DDR4-old", manufacturer))
+        new = figure5.get(("DDR4-new", manufacturer))
+        if old and new:
+            assert new[150_000] >= old[150_000]
+
+    # Flip rate is non-decreasing in hammer count for every configuration.
+    for series in figure5.values():
+        ordered = [series[hc] for hc in sorted(series)]
+        assert ordered == sorted(ordered)

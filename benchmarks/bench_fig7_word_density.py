@@ -1,0 +1,54 @@
+"""Figure 7: number of RowHammer bit flips per 64-bit word.
+
+Observation 8: a single 64-bit word can contain multiple flips even at a low
+flip rate.  Observation 9: LPDDR4 chips (on-die ECC) show far fewer
+single-flip words than DDR3/DDR4 chips.
+"""
+
+from conftest import print_banner
+
+from repro.analysis.figures import build_figure7_word_density
+from repro.analysis.report import format_table
+from repro.core.calibration import hammer_count_for_flip_rate
+from repro.core.word_density import single_flip_fraction, word_density
+
+TARGET_RATE = 5e-3
+
+
+def test_fig7_flips_per_word(benchmark, representative_chips):
+    chips = {
+        key: chip for key, chip in representative_chips.items() if chip.is_rowhammerable()
+    }
+
+    def run():
+        results = []
+        for chip in chips.values():
+            hammer_count = hammer_count_for_flip_rate(chip, target_rate=TARGET_RATE)
+            results.append(word_density(chip, hammer_count=hammer_count or 150_000))
+        return results
+
+    density_results = benchmark.pedantic(run, rounds=1, iterations=1)
+    figure7 = build_figure7_word_density(density_results)
+
+    print_banner("Figure 7: fraction of 64-bit words containing N bit flips")
+    rows = []
+    for (type_node, manufacturer), series in sorted(figure7.items()):
+        rows.append(
+            [f"{type_node}/{manufacturer}"]
+            + [round(series[n]["mean"], 3) for n in range(1, 6)]
+        )
+    print(format_table(["configuration", "1 flip", "2", "3", "4", "5"], rows))
+
+    ddr_results = [r for r in density_results if r.type_node.startswith("DDR") and r.total_words_with_flips]
+    lpddr4_results = [r for r in density_results if r.type_node.startswith("LPDDR4") and r.total_words_with_flips]
+    assert ddr_results and lpddr4_results
+
+    # Observation 9: DDR chips are dominated by single-flip words; LPDDR4
+    # chips (on-die ECC) shift towards multi-flip words.
+    ddr_single = sum(single_flip_fraction(r) for r in ddr_results) / len(ddr_results)
+    lpddr4_single = sum(single_flip_fraction(r) for r in lpddr4_results) / len(lpddr4_results)
+    print(f"\naverage single-flip fraction: DDR {ddr_single:.2f}, LPDDR4 {lpddr4_single:.2f}")
+    assert ddr_single > lpddr4_single
+
+    # Observation 8: some word contains more than one flip.
+    assert any(r.max_flips_in_any_word() >= 2 for r in density_results)

@@ -1,0 +1,79 @@
+"""Table 1 / appendix Tables 7-8: the characterized chip population.
+
+Regenerates the population inventory (chips and modules per type-node and
+manufacturer) and the per-module metadata tables, and benchmarks how long it
+takes to instantiate a simulated population with the paper's full chip
+counts.
+"""
+
+from conftest import BENCH_GEOMETRY, print_banner
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import build_table1_population
+from repro.dram.population import (
+    TABLE7_DDR4_MODULES,
+    TABLE8_DDR3_MODULES,
+    make_population,
+)
+
+
+def test_table1_population(benchmark):
+    """Regenerate Table 1 and verify the totals (1580 chips, 300 modules)."""
+
+    def build():
+        return build_table1_population()
+
+    table = benchmark(build)
+    print_banner("Table 1: Number of chips (modules) tested")
+    rows = []
+    for type_node, per_mfr in table.items():
+        row = [type_node]
+        total_chips = 0
+        total_modules = 0
+        for manufacturer in ("A", "B", "C"):
+            if manufacturer in per_mfr:
+                chips, modules = per_mfr[manufacturer]
+                row.append(f"{chips} ({modules})")
+                total_chips += chips
+                total_modules += modules
+            else:
+                row.append("N/A")
+        row.append(f"{total_chips} ({total_modules})")
+        rows.append(row)
+    print(format_table(["type-node", "Mfr. A", "Mfr. B", "Mfr. C", "Total"], rows))
+
+    total_chips = sum(chips for per_mfr in table.values() for chips, _ in per_mfr.values())
+    total_modules = sum(mods for per_mfr in table.values() for _, mods in per_mfr.values())
+    assert total_chips == 1580
+    assert total_modules == 300
+
+
+def test_tables7_8_module_inventory(benchmark):
+    """Regenerate the appendix per-module tables (metadata only)."""
+
+    def build():
+        return list(TABLE7_DDR4_MODULES), list(TABLE8_DDR3_MODULES)
+
+    ddr4, ddr3 = benchmark(build)
+    print_banner("Appendix Tables 7 (DDR4) and 8 (DDR3): module inventory")
+    for name, records in (("DDR4", ddr4), ("DDR3", ddr3)):
+        rows = [
+            [r.module_ids, r.manufacturer, r.node, r.date, r.frequency_mts, r.trc_ns,
+             r.size_gb, r.chips, r.pins, r.min_hcfirst_k]
+            for r in records
+        ]
+        print(format_table(
+            ["modules", "mfr", "node", "date", "MT/s", "tRC ns", "GB", "chips", "pins", "min HCfirst (k)"],
+            rows,
+            title=f"{name} modules",
+        ))
+    assert len(ddr4) == 18 and len(ddr3) == 17
+
+
+def test_instantiate_scaled_population(benchmark):
+    """Benchmark instantiating a population with one chip per configuration."""
+
+    population = benchmark(
+        make_population, chips_per_config=1, seed=7, geometry=BENCH_GEOMETRY
+    )
+    assert len(population) == 16

@@ -1,0 +1,45 @@
+"""Table 2: fraction of DDR3 chips vulnerable to RowHammer below HC = 150k.
+
+The paper finds that almost no DDR3-old chips flip within the test limit
+while most DDR3-new chips from manufacturers B and C do (Observation 1).
+"""
+
+from conftest import print_banner
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import build_table2_rowhammerable
+from repro.core.first_flip import population_hcfirst
+
+
+def test_table2_ddr3_rowhammerable_fraction(benchmark, bench_population):
+    ddr3_chips = [
+        chip
+        for (type_node, _mfr), chips in bench_population.items()
+        for chip in chips
+        if type_node.value.startswith("DDR3")
+    ]
+
+    def run():
+        results = population_hcfirst(ddr3_chips)
+        return results, build_table2_rowhammerable(results)
+
+    results, table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_banner("Table 2: Fraction of DDR3 chips vulnerable to RowHammer (HC < 150k)")
+    rows = []
+    for type_node in ("DDR3-old", "DDR3-new"):
+        row = [type_node]
+        for manufacturer in ("A", "B", "C"):
+            hammerable, total = table.get(type_node, {}).get(manufacturer, (0, 0))
+            row.append(f"{hammerable}/{total}")
+        rows.append(row)
+    print(format_table(["type-node", "Mfr. A", "Mfr. B", "Mfr. C"], rows))
+    print("paper: DDR3-old 24/88, 0/88, 0/28; DDR3-new 8/72, 44/52, 96/104")
+
+    # Shape checks mirroring Observation 1: DDR3-old chips of manufacturers B
+    # and C never flip, and DDR3-new chips of B/C are mostly RowHammerable.
+    for manufacturer in ("B", "C"):
+        old_hammerable, old_total = table["DDR3-old"][manufacturer]
+        new_hammerable, new_total = table["DDR3-new"][manufacturer]
+        assert old_hammerable == 0
+        assert new_hammerable / new_total >= 0.5

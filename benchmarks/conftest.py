@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper.  The simulated
+chips are far smaller than real devices so the harnesses finish in seconds;
+EXPERIMENTS.md records how each regenerated artefact compares with the paper.
+
+The population fixtures are session-scoped so benchmarks that share a chip
+population (for example Table 4 and Figure 8) reuse the same chips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.geometry import ChipGeometry
+from repro.dram.population import make_population
+from repro.dram.vulnerability import available_configurations
+
+#: Geometry used by all characterization benchmarks.
+BENCH_GEOMETRY = ChipGeometry(banks=1, rows_per_bank=48, row_bytes=32)
+
+#: Chips per (type-node, manufacturer) configuration in the benchmark
+#: population.  The paper tests 24-388 chips per configuration; three chips
+#: per configuration keep the harness fast while still exposing chip-to-chip
+#: variation.
+CHIPS_PER_CONFIG = 3
+
+
+@pytest.fixture(scope="session")
+def bench_population():
+    """One small chip population covering every configuration in Table 1."""
+    return make_population(
+        chips_per_config=CHIPS_PER_CONFIG, seed=2024, geometry=BENCH_GEOMETRY
+    )
+
+
+@pytest.fixture(scope="session")
+def representative_chips(bench_population):
+    """One representative chip per configuration (the paper plots these for
+    Figures 4, 6 and 7)."""
+    return {key: chips[0] for key, chips in bench_population.items()}
+
+
+def print_banner(title: str) -> None:
+    """Print a separator so benchmark output is easy to scan."""
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

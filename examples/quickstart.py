@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: create a simulated DRAM chip and characterize its RowHammer vulnerability.
+
+This example walks through the core workflow of the library:
+
+1. build a chip of a given DRAM type-node configuration and manufacturer,
+2. run a worst-case double-sided hammer against one victim row,
+3. search for the chip's ``HC_first`` (the minimum hammer count that causes
+   the first bit flip -- the paper's headline vulnerability metric), and
+4. compare chips across technology generations (Observation 10).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DoubleSidedHammer, make_chip, profile_for
+from repro.core.first_flip import find_hcfirst
+from repro.dram.geometry import ChipGeometry
+
+# A small simulated chip: the vulnerability model calibrates itself to the
+# simulated cell count, so chip-level metrics remain meaningful.
+GEOMETRY = ChipGeometry(banks=1, rows_per_bank=64, row_bytes=64)
+
+
+def main() -> None:
+    # 1. Build an LPDDR4-1y chip from manufacturer A -- the most vulnerable
+    #    configuration the paper characterizes (HC_first as low as 4.8k).
+    chip = make_chip("LPDDR4-1y", manufacturer="A", seed=1, geometry=GEOMETRY)
+    print(f"chip: {chip.chip_id}")
+    print(f"  type-node:     {chip.profile.type_node}")
+    print(f"  on-die ECC:    {chip.has_on_die_ecc}")
+    print(f"  worst pattern: {chip.profile.worst_case_pattern_bytes()}")
+
+    # 2. Hammer one victim row with the worst-case double-sided pattern.
+    hammer = DoubleSidedHammer(chip)
+    victim = chip.geometry.rows_per_bank // 2
+    result = hammer.hammer_victim(bank=0, victim_row=victim, hammer_count=150_000)
+    print(f"\nhammering victim row {victim} 150k times:")
+    print(f"  aggressor rows: {result.aggressor_rows}")
+    print(f"  bit flips observed: {result.num_bit_flips}")
+    for flip in result.flips[:5]:
+        print(
+            f"    row {flip.row} (offset {flip.offset_from_victim:+d}), "
+            f"bit {flip.bit_index}: {flip.expected_bit} -> {flip.observed_bit}"
+        )
+
+    # 3. Find HC_first: the minimum hammer count causing the first bit flip.
+    hcfirst = find_hcfirst(chip)
+    print(f"\nHC_first search: {hcfirst.hcfirst} hammers (victim row {hcfirst.victim_row})")
+
+    # 4. Compare technology generations of the same manufacturer, using for
+    #    each generation a chip as vulnerable as the weakest chip the paper
+    #    found in that configuration (Table 4).
+    print("\nHC_first across generations (manufacturer A, weakest chip per generation):")
+    for type_node in ("DDR4-old", "DDR4-new", "LPDDR4-1x", "LPDDR4-1y"):
+        profile = profile_for(type_node, "A")
+        generation_chip = make_chip(
+            type_node, "A", seed=7, geometry=GEOMETRY, hcfirst_target=profile.hcfirst_min
+        )
+        generation_result = find_hcfirst(generation_chip)
+        print(
+            f"  {type_node:10s}: HC_first = {generation_result.hcfirst}"
+            f"  (paper: {profile.hcfirst_min_k}k)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that ``pip install -e .`` also works in offline environments that lack the
+``wheel`` package (legacy editable installs go through ``setup.py develop``
+and do not need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro: reproduction of "Revisiting RowHammer" (ISCA 2020).
+
+The package is organized into the paper's primary contribution
+(:mod:`repro.core` -- the RowHammer characterization pipeline and the
+mitigation scaling study) and the substrates it depends on:
+
+* :mod:`repro.dram` -- behavioural DRAM device model with a circuit-level
+  RowHammer vulnerability model (replaces the 1580 real chips).
+* :mod:`repro.ecc` -- SEC Hamming codes and the LPDDR4 on-die ECC model.
+* :mod:`repro.softmc` -- SoftMC-like test infrastructure (command-level host).
+* :mod:`repro.sim` -- cycle-level DDR4 memory-system simulator with a simple
+  multi-core model (replaces Ramulator + SPEC traces).
+* :mod:`repro.mitigations` -- the five state-of-the-art RowHammer mitigation
+  mechanisms evaluated by the paper plus the ideal refresh-based mechanism.
+* :mod:`repro.analysis` -- builders that regenerate every table and figure in
+  the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import make_chip, DoubleSidedHammer
+>>> chip = make_chip("LPDDR4-1y", manufacturer="A", seed=1)
+>>> hammer = DoubleSidedHammer(chip)
+>>> result = hammer.hammer_victim(bank=0, victim_row=100, hammer_count=20_000)
+>>> result.num_bit_flips >= 0
+True
+"""
+
+from repro.dram.chip import DramChip
+from repro.dram.module import DramModule
+from repro.dram.population import make_chip, make_module, make_population
+from repro.dram.vulnerability import VulnerabilityProfile, profile_for
+from repro.core.hammer import DoubleSidedHammer, HammerResult
+from repro.core.characterization import RowHammerCharacterizer
+from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DramChip",
+    "DramModule",
+    "make_chip",
+    "make_module",
+    "make_population",
+    "VulnerabilityProfile",
+    "profile_for",
+    "DoubleSidedHammer",
+    "HammerResult",
+    "RowHammerCharacterizer",
+    "DataPattern",
+    "STANDARD_PATTERNS",
+    "__version__",
+]

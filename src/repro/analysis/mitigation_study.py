@@ -1,0 +1,229 @@
+"""Figure 10 harness: mitigation-mechanism overhead versus ``HC_first``.
+
+For every (mechanism, HC_first) point the harness simulates a set of
+multi-programmed workload mixes with and without the mechanism, computes
+
+* the DRAM bandwidth overhead the mechanism imposes (Figure 10a), and
+* the weighted speedup normalized to the no-mitigation baseline
+  (Figure 10b),
+
+and reports the average, minimum and maximum across mixes, mirroring the
+paper's error bars.  Mechanisms are only evaluated at the ``HC_first``
+values where their published designs apply (Section 6.1): ProHIT and MRLoc
+at 2000 only, increased refresh rate and non-ideal TWiCe at 32k and above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.mitigations.base import MitigationConfig
+from repro.mitigations.registry import build_mechanism, is_evaluable
+from repro.sim.config import SystemConfig
+from repro.sim.metrics import normalized_performance, weighted_speedup
+from repro.sim.system import run_alone_ipcs, run_workload
+from repro.sim.workloads import WorkloadMix, make_workload_mixes
+
+#: Default HC_first sweep of Figure 10 (200k down to 64).
+DEFAULT_HCFIRST_SWEEP: Tuple[int, ...] = (
+    200_000,
+    100_000,
+    50_000,
+    25_600,
+    12_800,
+    6_400,
+    3_200,
+    2_000,
+    1_024,
+    512,
+    256,
+    128,
+    64,
+)
+
+#: Default mechanism set of Figure 10.
+DEFAULT_MECHANISMS: Tuple[str, ...] = (
+    "IncreasedRefresh",
+    "PARA",
+    "ProHIT",
+    "MRLoc",
+    "TWiCe",
+    "TWiCe-ideal",
+    "Ideal",
+)
+
+
+@dataclass
+class MitigationStudyPoint:
+    """Results of one (mechanism, HC_first) evaluation point."""
+
+    mechanism: str
+    hcfirst: int
+    normalized_performance_avg: float
+    normalized_performance_min: float
+    normalized_performance_max: float
+    bandwidth_overhead_avg: float
+    bandwidth_overhead_min: float
+    bandwidth_overhead_max: float
+    workloads_evaluated: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mechanism": self.mechanism,
+            "hcfirst": self.hcfirst,
+            "normalized_performance_avg": self.normalized_performance_avg,
+            "normalized_performance_min": self.normalized_performance_min,
+            "normalized_performance_max": self.normalized_performance_max,
+            "bandwidth_overhead_avg": self.bandwidth_overhead_avg,
+            "bandwidth_overhead_min": self.bandwidth_overhead_min,
+            "bandwidth_overhead_max": self.bandwidth_overhead_max,
+            "workloads_evaluated": self.workloads_evaluated,
+        }
+
+
+@dataclass
+class MitigationStudyResult:
+    """All evaluation points of one Figure 10 run."""
+
+    points: List[MitigationStudyPoint] = field(default_factory=list)
+
+    def series_for(self, mechanism: str) -> Dict[int, MitigationStudyPoint]:
+        """Points of one mechanism keyed by HC_first (descending vulnerability)."""
+        return {
+            point.hcfirst: point
+            for point in sorted(self.points, key=lambda p: -p.hcfirst)
+            if point.mechanism == mechanism
+        }
+
+    def mechanisms(self) -> List[str]:
+        names: List[str] = []
+        for point in self.points:
+            if point.mechanism not in names:
+                names.append(point.mechanism)
+        return names
+
+    def performance_at(self, mechanism: str, hcfirst: int) -> Optional[float]:
+        """Average normalized performance of a mechanism at one HC_first."""
+        for point in self.points:
+            if point.mechanism == mechanism and point.hcfirst == hcfirst:
+                return point.normalized_performance_avg
+        return None
+
+
+def run_mitigation_study(
+    system_config: Optional[SystemConfig] = None,
+    workload_mixes: Optional[Sequence[WorkloadMix]] = None,
+    hcfirst_values: Sequence[int] = DEFAULT_HCFIRST_SWEEP,
+    mechanisms: Sequence[str] = DEFAULT_MECHANISMS,
+    dram_cycles: int = 20_000,
+    requests_per_core: int = 4_000,
+    seed: int = 0,
+    respect_design_constraints: bool = True,
+    time_scale: float = 1.0,
+) -> MitigationStudyResult:
+    """Run the Figure 10 evaluation.
+
+    Parameters
+    ----------
+    system_config:
+        Simulated system (defaults to Table 6 with a reduced row count for
+        speed -- mitigation table sizes scale with it).
+    workload_mixes:
+        Multi-programmed mixes to evaluate; defaults to a small random set.
+        The paper uses 48 mixes; the default here is sized for a quick run.
+    hcfirst_values, mechanisms:
+        The sweep axes of Figure 10.
+    dram_cycles, requests_per_core:
+        Length of each simulation.
+    respect_design_constraints:
+        When true (the default, matching the paper), mechanisms are skipped
+        at HC_first values where their published design does not apply.
+    time_scale:
+        Optional threshold scaling for counter-based mechanisms (see
+        :class:`repro.mitigations.base.MitigationConfig`).  The default of
+        1.0 models the mechanisms faithfully; values below 1.0 compress the
+        refresh window into the simulated interval, which over-approximates
+        the overhead of counter-based mechanisms on short runs.
+    """
+    config = system_config or SystemConfig(rows_per_bank=4096)
+    mixes = list(workload_mixes) if workload_mixes is not None else make_workload_mixes(
+        num_mixes=4, cores=config.cores, seed=seed
+    )
+
+    # Baselines (no mitigation) and alone IPCs are shared across all points.
+    baselines = []
+    alone_ipcs_per_mix = []
+    for mix in mixes:
+        baselines.append(
+            run_workload(
+                config,
+                mix,
+                dram_cycles=dram_cycles,
+                requests_per_core=requests_per_core,
+                mitigation=None,
+                seed=seed,
+            )
+        )
+        alone_ipcs_per_mix.append(
+            run_alone_ipcs(
+                config,
+                mix,
+                dram_cycles=dram_cycles,
+                requests_per_core=requests_per_core,
+                seed=seed,
+            )
+        )
+    baseline_speedups = [
+        weighted_speedup(result.core_ipcs, alone)
+        for result, alone in zip(baselines, alone_ipcs_per_mix)
+    ]
+
+    study = MitigationStudyResult()
+    for mechanism_name in mechanisms:
+        for hcfirst in hcfirst_values:
+            if respect_design_constraints and not is_evaluable(mechanism_name, hcfirst):
+                continue
+            performances: List[float] = []
+            overheads: List[float] = []
+            for mix_index, mix in enumerate(mixes):
+                mitigation = build_mechanism(
+                    mechanism_name,
+                    MitigationConfig(
+                        hcfirst=hcfirst,
+                        banks=config.banks,
+                        rows_per_bank=config.rows_per_bank,
+                        timings=config.timings,
+                        seed=seed + mix_index,
+                        time_scale=time_scale,
+                    ),
+                )
+                result = run_workload(
+                    config,
+                    mix,
+                    dram_cycles=dram_cycles,
+                    requests_per_core=requests_per_core,
+                    mitigation=mitigation,
+                    seed=seed,
+                )
+                speedup = weighted_speedup(result.core_ipcs, alone_ipcs_per_mix[mix_index])
+                performances.append(
+                    normalized_performance(speedup, baseline_speedups[mix_index])
+                )
+                overheads.append(result.bandwidth_overhead_percent)
+            if not performances:
+                continue
+            study.points.append(
+                MitigationStudyPoint(
+                    mechanism=mechanism_name,
+                    hcfirst=hcfirst,
+                    normalized_performance_avg=sum(performances) / len(performances),
+                    normalized_performance_min=min(performances),
+                    normalized_performance_max=max(performances),
+                    bandwidth_overhead_avg=sum(overheads) / len(overheads),
+                    bandwidth_overhead_min=min(overheads),
+                    bandwidth_overhead_max=max(overheads),
+                    workloads_evaluated=len(performances),
+                )
+            )
+    return study

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: the RowHammer characterization pipeline.
+
+Modules map to the paper's experimental sections:
+
+* :mod:`repro.core.data_patterns` -- the data patterns of Section 4.3.
+* :mod:`repro.core.hammer` -- worst-case double-sided hammering of one victim.
+* :mod:`repro.core.characterization` -- Algorithm 1, the general test routine.
+* :mod:`repro.core.coverage` -- data-pattern coverage (Figure 4, Table 3).
+* :mod:`repro.core.sweeps` -- hammer-count sweeps (Figure 5).
+* :mod:`repro.core.spatial` -- spatial distribution of bit flips (Figure 6).
+* :mod:`repro.core.word_density` -- bit flips per 64-bit word (Figure 7).
+* :mod:`repro.core.first_flip` -- ``HC_first`` search (Figure 8, Table 4).
+* :mod:`repro.core.ecc_analysis` -- ``HC_first/second/third`` (Figure 9).
+* :mod:`repro.core.probability` -- single-cell flip probability (Table 5).
+* :mod:`repro.core.scaling` -- projection of ``HC_first`` for future nodes.
+"""
+
+from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS, pattern_by_name
+from repro.core.hammer import BitFlip, DoubleSidedHammer, HammerResult
+from repro.core.characterization import RowHammerCharacterizer, CharacterizationConfig
+from repro.core.first_flip import HCFirstResult, find_hcfirst
+from repro.core.results import ChipSummary
+
+__all__ = [
+    "DataPattern",
+    "STANDARD_PATTERNS",
+    "pattern_by_name",
+    "BitFlip",
+    "DoubleSidedHammer",
+    "HammerResult",
+    "RowHammerCharacterizer",
+    "CharacterizationConfig",
+    "HCFirstResult",
+    "find_hcfirst",
+    "ChipSummary",
+]

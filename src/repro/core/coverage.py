@@ -1,0 +1,95 @@
+"""Data-pattern coverage study (Figure 4, Table 3, Observations 2-3).
+
+For a fixed hammer count the study runs the characterization once per data
+pattern, aggregates the unique bit flips each pattern exposes, and reports
+every pattern's *coverage*: the fraction of the union of all observed flips
+that the pattern finds on its own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+
+from repro.core.characterization import RowHammerCharacterizer
+from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS
+from repro.core.results import CoverageResult
+from repro.dram.chip import DramChip
+
+
+def pattern_coverage(
+    chip: DramChip,
+    hammer_count: int = DramChip.TEST_LIMIT_HC,
+    patterns: Sequence[DataPattern] = STANDARD_PATTERNS,
+    iterations: int = 1,
+    bank: int = 0,
+    victims: Optional[Sequence[int]] = None,
+) -> CoverageResult:
+    """Measure per-pattern coverage of all observable RowHammer bit flips.
+
+    Parameters
+    ----------
+    chip:
+        Chip under test.
+    hammer_count:
+        Hammer count used for every pattern (the paper uses 150k).
+    patterns:
+        Data patterns to compare (the paper's eight standard patterns).
+    iterations:
+        How many times to repeat the test per pattern; the paper uses ten
+        iterations and aggregates unique flips across them.
+    bank, victims:
+        Victim rows to test; defaults to every testable row of bank 0.
+    """
+    characterizer = RowHammerCharacterizer(chip)
+    victims = list(victims) if victims is not None else characterizer.default_victims(bank)
+
+    cells_by_pattern: Dict[str, Set[Tuple[int, int, int]]] = {}
+    for pattern in patterns:
+        cells: Set[Tuple[int, int, int]] = set()
+        for _iteration in range(iterations):
+            for result in characterizer.hammer_all_victims(
+                hammer_count, data_pattern=pattern, bank=bank, victims=victims
+            ):
+                cells.update(flip.cell for flip in result.flips)
+        cells_by_pattern[pattern.name] = cells
+
+    all_cells: Set[Tuple[int, int, int]] = set()
+    for cells in cells_by_pattern.values():
+        all_cells.update(cells)
+
+    coverage = {
+        name: (len(cells) / len(all_cells) if all_cells else 0.0)
+        for name, cells in cells_by_pattern.items()
+    }
+    return CoverageResult(
+        chip_id=chip.chip_id,
+        type_node=chip.profile.type_node.value,
+        manufacturer=chip.profile.manufacturer,
+        hammer_count=hammer_count,
+        unique_flips_total=len(all_cells),
+        coverage_by_pattern=coverage,
+        flips_by_pattern={name: len(cells) for name, cells in cells_by_pattern.items()},
+    )
+
+
+def worst_case_patterns_by_configuration(
+    coverage_results: Iterable[CoverageResult],
+) -> Dict[Tuple[str, str], Optional[str]]:
+    """Aggregate Table 3: worst-case pattern per (type-node, manufacturer).
+
+    When multiple chips of the same configuration are present, the pattern
+    that wins most often is reported (the paper observes the worst-case
+    pattern is consistent within a configuration -- Observation 3).
+    """
+    votes: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for result in coverage_results:
+        key = (result.type_node, result.manufacturer)
+        winner = result.worst_case_pattern
+        if winner is None:
+            continue
+        votes.setdefault(key, {})
+        votes[key][winner] = votes[key].get(winner, 0) + 1
+    table: Dict[Tuple[str, str], Optional[str]] = {}
+    for key, counts in votes.items():
+        table[key] = max(counts, key=counts.get) if counts else None
+    return table

@@ -1,0 +1,129 @@
+"""``HC_first`` search: the minimum hammer count causing the first bit flip.
+
+``HC_first`` is the paper's headline vulnerability metric (Figure 8,
+Table 4): the smallest number of double-sided hammers that induces any bit
+flip anywhere in a chip.  Finding it naively requires a fine hammer-count
+sweep over every row; this module implements the practical strategy a
+characterization engineer would use:
+
+1. hammer every candidate victim once at the test ceiling to find the rows
+   containing the chip's weakest cells, then
+2. binary-search the per-victim minimal hammer count over those candidates,
+   pruning candidates that cannot beat the best value found so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.characterization import RowHammerCharacterizer
+from repro.core.data_patterns import DataPattern, worst_case_pattern
+from repro.core.hammer import DoubleSidedHammer
+from repro.core.search import descend_and_search
+from repro.dram.chip import DramChip
+
+
+@dataclass
+class HCFirstResult:
+    """Result of an ``HC_first`` search on one chip."""
+
+    chip_id: str
+    type_node: str
+    manufacturer: str
+    hcfirst: Optional[int]
+    victim_row: Optional[int]
+    hammer_limit: int
+    data_pattern: str
+    candidates_examined: int = 0
+
+    @property
+    def rowhammerable(self) -> bool:
+        """Whether any bit flip was induced within the hammer limit."""
+        return self.hcfirst is not None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "chip_id": self.chip_id,
+            "type_node": self.type_node,
+            "manufacturer": self.manufacturer,
+            "hcfirst": self.hcfirst,
+            "victim_row": self.victim_row,
+            "hammer_limit": self.hammer_limit,
+            "data_pattern": self.data_pattern,
+            "rowhammerable": self.rowhammerable,
+            "candidates_examined": self.candidates_examined,
+        }
+
+
+def find_hcfirst(
+    chip: DramChip,
+    hammer_limit: int = DramChip.TEST_LIMIT_HC,
+    data_pattern: Optional[DataPattern] = None,
+    bank: int = 0,
+    victims: Optional[Sequence[int]] = None,
+    relative_precision: float = 0.02,
+    max_candidates: int = 16,
+) -> HCFirstResult:
+    """Find the chip's ``HC_first`` (Section 5.5).
+
+    Parameters
+    ----------
+    chip:
+        Chip under test.
+    hammer_limit:
+        Maximum hammer count to try (the paper's limit is 150k so the core
+        loop stays within one refresh window).
+    data_pattern:
+        Data pattern to use; defaults to the chip's worst-case pattern.
+    bank, victims:
+        Victim rows to examine; defaults to every testable row of bank 0.
+    relative_precision:
+        Precision of the per-victim binary search.
+    max_candidates:
+        Cap on how many surviving victim rows are binary-searched after the
+        geometric descent (see
+        :func:`repro.core.search.descend_and_search`).
+    """
+    characterizer = RowHammerCharacterizer(chip)
+    hammer = characterizer.hammer
+    if data_pattern is None:
+        data_pattern = worst_case_pattern(chip.profile)
+    victims = list(victims) if victims is not None else characterizer.default_victims(bank)
+
+    def any_flip(victim: int, hammer_count: int) -> bool:
+        result = hammer.hammer_victim(bank, victim, hammer_count, data_pattern=data_pattern)
+        return result.num_bit_flips > 0
+
+    best_hc, best_victim, examined = descend_and_search(
+        victims,
+        any_flip,
+        hammer_limit=hammer_limit,
+        relative_precision=relative_precision,
+        max_candidates=max_candidates,
+    )
+    return HCFirstResult(
+        chip_id=chip.chip_id,
+        type_node=chip.profile.type_node.value,
+        manufacturer=chip.profile.manufacturer,
+        hcfirst=best_hc,
+        victim_row=best_victim,
+        hammer_limit=hammer_limit,
+        data_pattern=data_pattern.name,
+        candidates_examined=examined,
+    )
+
+
+def population_hcfirst(
+    chips: Iterable[DramChip],
+    hammer_limit: int = DramChip.TEST_LIMIT_HC,
+    **kwargs,
+) -> List[HCFirstResult]:
+    """Run the ``HC_first`` search over a population of chips."""
+    return [find_hcfirst(chip, hammer_limit=hammer_limit, **kwargs) for chip in chips]
+
+
+def minimum_hcfirst(results: Sequence[HCFirstResult]) -> Optional[int]:
+    """Smallest ``HC_first`` across a set of results (Table 4 cells)."""
+    values = [r.hcfirst for r in results if r.hcfirst is not None]
+    return min(values) if values else None

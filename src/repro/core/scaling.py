@@ -1,0 +1,114 @@
+"""Technology-scaling projection of ``HC_first`` (Section 6 motivation).
+
+The paper's mitigation study sweeps ``HC_first`` far below today's observed
+minimum (4.8k) because the characterization shows a clear downward trend
+from older to newer technology nodes.  This module fits that trend and
+produces the projected ``HC_first`` values the mitigation evaluation uses
+(Figure 10's x-axis, 200k down to 64).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: The HC_first values at which the paper evaluates mitigation mechanisms
+#: (Figure 10 sweeps from 200k down to 64 hammers).
+MITIGATION_EVALUATION_HCFIRST: Tuple[int, ...] = (
+    200_000,
+    100_000,
+    50_000,
+    25_600,
+    12_800,
+    6_400,
+    3_200,
+    2_000,
+    1_600,
+    1_024,
+    512,
+    256,
+    128,
+    64,
+)
+
+#: Observed minimum HC_first per generation ordered oldest to newest, taken
+#: from Table 4 (the smallest value across manufacturers per type-node).
+OBSERVED_GENERATION_MINIMA: Tuple[Tuple[str, float], ...] = (
+    ("DDR3-old", 69_200.0),
+    ("DDR3-new", 22_400.0),
+    ("DDR4-old", 17_500.0),
+    ("DDR4-new", 10_000.0),
+    ("LPDDR4-1x", 16_800.0),
+    ("LPDDR4-1y", 4_800.0),
+)
+
+
+@dataclass(frozen=True)
+class ScalingProjection:
+    """An exponential fit of ``HC_first`` versus generation index."""
+
+    intercept_log10: float
+    slope_log10_per_generation: float
+    generations: Tuple[str, ...]
+
+    def hcfirst_at(self, generation_index: float) -> float:
+        """Projected ``HC_first`` at a (possibly fractional/future) generation index."""
+        return 10 ** (self.intercept_log10 + self.slope_log10_per_generation * generation_index)
+
+    def generations_until(self, target_hcfirst: float) -> Optional[float]:
+        """How many generations beyond the last observed one until the target.
+
+        Returns ``None`` if the fitted trend is not decreasing.
+        """
+        if self.slope_log10_per_generation >= 0:
+            return None
+        last_index = len(self.generations) - 1
+        target_index = (math.log10(target_hcfirst) - self.intercept_log10) / (
+            self.slope_log10_per_generation
+        )
+        return target_index - last_index
+
+
+def fit_scaling_trend(
+    observations: Sequence[Tuple[str, float]] = OBSERVED_GENERATION_MINIMA,
+) -> ScalingProjection:
+    """Least-squares fit of log10(HC_first) against generation index.
+
+    >>> projection = fit_scaling_trend()
+    >>> projection.slope_log10_per_generation < 0
+    True
+    """
+    if len(observations) < 2:
+        raise ValueError("at least two generations are needed to fit a trend")
+    xs = list(range(len(observations)))
+    ys = [math.log10(value) for _label, value in observations]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+    intercept = mean_y - slope * mean_x
+    return ScalingProjection(
+        intercept_log10=intercept,
+        slope_log10_per_generation=slope,
+        generations=tuple(label for label, _value in observations),
+    )
+
+
+def project_future_hcfirst(
+    future_generations: Sequence[str] = ("1z", "1a"),
+    observations: Sequence[Tuple[str, float]] = OBSERVED_GENERATION_MINIMA,
+) -> Dict[str, float]:
+    """Project the minimum ``HC_first`` of future technology nodes.
+
+    The paper names 1z and 1a as the nodes manufacturers are forecast to
+    reach next (Section 6.3); the projection extrapolates the fitted
+    generation-over-generation decline.
+    """
+    projection = fit_scaling_trend(observations)
+    last_index = len(observations) - 1
+    projected: Dict[str, float] = {}
+    for offset, label in enumerate(future_generations, start=1):
+        projected[label] = projection.hcfirst_at(last_index + offset)
+    return projected

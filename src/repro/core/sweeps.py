@@ -1,0 +1,99 @@
+"""Hammer-count sweep study (Figure 5, Observations 4-5).
+
+Sweeping the hammer count and recording the aggregate bit-flip rate shows
+the log-log-linear relationship between hammers and flips, and the clear
+shift of the curve up and to the left for newer technology nodes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.characterization import RowHammerCharacterizer
+from repro.core.data_patterns import DataPattern, worst_case_pattern
+from repro.core.results import SweepPoint, SweepResult
+from repro.dram.chip import DramChip
+
+#: Default sweep mirroring the paper's 10k-150k range (Section 5.3).
+DEFAULT_HAMMER_COUNTS: Tuple[int, ...] = (
+    10_000,
+    15_000,
+    25_000,
+    40_000,
+    65_000,
+    100_000,
+    150_000,
+)
+
+
+def hammer_count_sweep(
+    chip: DramChip,
+    hammer_counts: Sequence[int] = DEFAULT_HAMMER_COUNTS,
+    data_pattern: Optional[DataPattern] = None,
+    bank: int = 0,
+    victims: Optional[Sequence[int]] = None,
+) -> SweepResult:
+    """Sweep the hammer count and record the aggregate bit-flip rate.
+
+    The flip rate is the number of observed bit flips divided by the number
+    of bits in the tested victim rows, matching the paper's definition
+    (footnote 6).
+    """
+    characterizer = RowHammerCharacterizer(chip)
+    if data_pattern is None:
+        data_pattern = worst_case_pattern(chip.profile)
+    victims = list(victims) if victims is not None else characterizer.default_victims(bank)
+    cells_tested = characterizer.cells_tested(victims)
+
+    result = SweepResult(
+        chip_id=chip.chip_id,
+        type_node=chip.profile.type_node.value,
+        manufacturer=chip.profile.manufacturer,
+        data_pattern=data_pattern.name,
+    )
+    for hammer_count in sorted(hammer_counts):
+        outcomes = characterizer.hammer_all_victims(
+            hammer_count, data_pattern=data_pattern, bank=bank, victims=victims
+        )
+        flips = sum(outcome.num_bit_flips for outcome in outcomes)
+        result.points.append(
+            SweepPoint(hammer_count=hammer_count, bit_flips=flips, cells_tested=cells_tested)
+        )
+    return result
+
+
+def loglog_slope(sweep: SweepResult) -> Optional[float]:
+    """Least-squares slope of log10(flip rate) versus log10(hammer count).
+
+    Only points with a non-zero flip rate participate; ``None`` is returned
+    when fewer than two such points exist.  Observation 4 states this
+    relationship is linear.
+    """
+    points = [(p.hammer_count, p.flip_rate) for p in sweep.points if p.flip_rate > 0]
+    if len(points) < 2:
+        return None
+    xs = [math.log10(hc) for hc, _rate in points]
+    ys = [math.log10(rate) for _hc, rate in points]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return None
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return numerator / denominator
+
+
+def average_flip_rates(
+    sweeps: Iterable[SweepResult],
+) -> Dict[int, float]:
+    """Average flip rate per hammer count across several chips' sweeps.
+
+    This is how Figure 5 aggregates chips of one type-node configuration.
+    """
+    totals: Dict[int, List[float]] = {}
+    for sweep in sweeps:
+        for point in sweep.points:
+            totals.setdefault(point.hammer_count, []).append(point.flip_rate)
+    return {hc: sum(rates) / len(rates) for hc, rates in sorted(totals.items())}

@@ -1,0 +1,53 @@
+"""Behavioural DRAM device substrate with a circuit-level RowHammer model.
+
+This package replaces the 1580 real DRAM chips characterized by the paper
+with a calibrated stochastic device model (see DESIGN.md section 2).  The
+observable interface of a :class:`~repro.dram.chip.DramChip` is the same set
+of operations the paper's testing infrastructure performs on real chips:
+write a row, activate (hammer) a row, refresh, and read a row back.
+"""
+
+from repro.dram.spec import DramType, DramTypeSpec, SPECS, spec_for
+from repro.dram.geometry import ChipGeometry, RowAddress
+from repro.dram.remapping import (
+    RowRemapper,
+    IdentityRemapper,
+    PairedWordlineRemapper,
+    XorRemapper,
+    remapper_for,
+)
+from repro.dram.vulnerability import (
+    CouplingClass,
+    VulnerabilityProfile,
+    PROFILES,
+    profile_for,
+    TypeNode,
+)
+from repro.dram.chip import DramChip
+from repro.dram.module import DramModule
+from repro.dram.population import make_chip, make_module, make_population, PopulationEntry
+
+__all__ = [
+    "DramType",
+    "DramTypeSpec",
+    "SPECS",
+    "spec_for",
+    "ChipGeometry",
+    "RowAddress",
+    "RowRemapper",
+    "IdentityRemapper",
+    "PairedWordlineRemapper",
+    "XorRemapper",
+    "remapper_for",
+    "CouplingClass",
+    "VulnerabilityProfile",
+    "PROFILES",
+    "profile_for",
+    "TypeNode",
+    "DramChip",
+    "DramModule",
+    "make_chip",
+    "make_module",
+    "make_population",
+    "PopulationEntry",
+]

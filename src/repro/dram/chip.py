@@ -1,0 +1,497 @@
+"""Behavioural DRAM chip model with circuit-level RowHammer disturbance.
+
+A :class:`DramChip` exposes the same observable operations the paper's test
+infrastructure performs against real chips:
+
+* ``write_row`` / ``read_row`` -- store and retrieve row data (the read path
+  goes through on-die ECC for LPDDR4 chips, which cannot be disabled);
+* ``activate`` -- open a row, disturbing physically nearby rows;
+* ``hammer_pair`` -- bulk double-sided hammering (the worst-case access
+  sequence of Section 4.3);
+* ``refresh_row`` / ``refresh_all`` -- restore cell charge, resetting the
+  accumulated disturbance.
+
+Disturbance model
+-----------------
+Each activation of a physical wordline adds *weighted exposure* to nearby
+wordlines according to the profile's ``distance_coupling``.  A cell flips
+once the accumulated exposure of its wordline (since the last refresh or
+activation of that wordline) reaches the cell's sampled threshold *and* the
+stored data matches the cell's coupling class (see
+:mod:`repro.dram.vulnerability`).  Flipped cells stay flipped until the row
+is rewritten; refreshing a row resets its exposure but cannot recover a bit
+that has already flipped, exactly as in a real device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.dram.geometry import ChipGeometry
+from repro.dram.remapping import RowRemapper, remapper_for
+from repro.dram.spec import DramTypeSpec, spec_for
+from repro.dram.vulnerability import VulnerabilityProfile
+from repro.ecc.ondie import OnDieEcc
+from repro.utils.rng import derive_seed, make_rng
+
+#: Default geometry used when none is supplied: small enough that exhaustive
+#: characterization sweeps finish quickly, large enough for meaningful
+#: per-word and spatial statistics.
+DEFAULT_GEOMETRY = ChipGeometry(banks=1, rows_per_bank=128, row_bytes=64)
+
+RowData = Union[int, bytes, bytearray, np.ndarray]
+
+
+@dataclass
+class ChipStats:
+    """Cumulative operation counters for one chip."""
+
+    activations: int = 0
+    refreshes: int = 0
+    row_writes: int = 0
+    row_reads: int = 0
+    bit_flips_induced: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.activations = 0
+        self.refreshes = 0
+        self.row_writes = 0
+        self.row_reads = 0
+        self.bit_flips_induced = 0
+
+
+@dataclass
+class _RowState:
+    """Mutable per-logical-row storage."""
+
+    bits: np.ndarray
+    check_bits: Optional[np.ndarray]
+    epoch: int = 0
+
+
+class DramChip:
+    """One simulated DRAM chip with a calibrated RowHammer vulnerability.
+
+    Parameters
+    ----------
+    profile:
+        The :class:`~repro.dram.vulnerability.VulnerabilityProfile` of the
+        chip's type-node configuration and manufacturer.
+    geometry:
+        Simulated chip dimensions; defaults to :data:`DEFAULT_GEOMETRY`.
+    seed:
+        Seed controlling every stochastic aspect of this chip (cell
+        thresholds, coupling classes, chip-to-chip variation).
+    hcfirst_target:
+        Optional override of the chip's target ``HC_first`` in hammers.  When
+        omitted it is sampled from the profile; chips the profile deems not
+        RowHammerable receive a target above the 150k-hammer test limit.
+    chip_id:
+        Free-form identifier used in reports.
+    """
+
+    #: Hammer-count ceiling used by the paper's characterization (Section 5.1).
+    TEST_LIMIT_HC = 150_000
+
+    def __init__(
+        self,
+        profile: VulnerabilityProfile,
+        geometry: Optional[ChipGeometry] = None,
+        seed: int = 0,
+        hcfirst_target: Optional[float] = None,
+        chip_id: str = "",
+    ) -> None:
+        self.profile = profile
+        self.geometry = geometry or DEFAULT_GEOMETRY
+        self.seed = seed
+        self.chip_id = chip_id or f"{profile.type_node.value}-{profile.manufacturer}-{seed}"
+        self.spec: DramTypeSpec = spec_for(profile.dram_type)
+        self.remapper: RowRemapper = remapper_for(profile.remapper_name)
+        self.stats = ChipStats()
+
+        self._ondie_ecc: Optional[OnDieEcc] = None
+        if profile.on_die_ecc:
+            self._ondie_ecc = OnDieEcc(word_data_bits=128)
+            # Validate the geometry against the ECC word size early.
+            self._ondie_ecc.words_per_row(self.geometry.row_bits)
+
+        chip_rng = make_rng(seed, "chip", profile.type_node.value, profile.manufacturer)
+        if hcfirst_target is not None:
+            self._hcfirst_target = float(hcfirst_target)
+        else:
+            sampled = profile.sample_chip_hcfirst(chip_rng)
+            if sampled is None:
+                # Not RowHammerable below the test limit: place the weakest
+                # cell safely above 150k hammers.
+                self._hcfirst_target = float(chip_rng.uniform(160_000.0, 500_000.0))
+            else:
+                self._hcfirst_target = float(sampled)
+        # On-die ECC hides the first raw bit flip in every 128-bit word, so a
+        # chip whose *visible* HC_first should equal the target needs its raw
+        # (pre-ECC) weakest cell to fail earlier: roughly at the point where a
+        # second flip is expected to land in some already-flipped word (a
+        # birthday-bound argument over the chip's ECC words).
+        calibration_target = self._hcfirst_target
+        if self._ondie_ecc is not None:
+            words = self.geometry.total_cells / self._ondie_ecc.word_data_bits
+            masking_factor = (2.0 * math.log(2.0) * words) ** (
+                1.0 / (2.0 * profile.flip_slope)
+            )
+            calibration_target = self._hcfirst_target / masking_factor
+        self._threshold_scale = profile.threshold_scale(
+            calibration_target, self.geometry.total_cells
+        )
+        # The chip's weakest cell is planted explicitly: one deterministic
+        # cell receives exactly the target threshold and no sampled threshold
+        # may fall below it.  This pins the chip's measured HC_first to its
+        # sampled target (the sampled power-law tail would otherwise make the
+        # measured minimum a noisy random variable), while leaving the
+        # flip-count-versus-HC curve above HC_first unchanged.
+        self._threshold_floor = 2.0 * calibration_target
+        self._planted_cell = self._choose_planted_cell(chip_rng)
+
+        self._rows: Dict[Tuple[int, int], _RowState] = {}
+        self._exposure: Dict[Tuple[int, int], float] = {}
+        self._thresholds: Dict[Tuple[int, int], np.ndarray] = {}
+        self._classes: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._noise_cache: Dict[Tuple[int, int], Tuple[int, np.ndarray]] = {}
+        self._column_parity = (np.arange(self.geometry.row_bits) % 2).astype(np.uint8)
+
+    def _choose_planted_cell(self, rng) -> Tuple[int, int, int]:
+        """Pick the (bank, row, column) of the chip's weakest cell.
+
+        The row is kept away from the bank edges so the cell is always
+        exercised by a full double-sided hammer, and the column respects the
+        dominant coupling class's column-parity requirement so the cell is
+        exposed by the chip's worst-case data pattern.
+        """
+        margin = (self.profile.blast_radius + 2) * (
+            2 if self.remapper.name == "paired" else 1
+        )
+        rows = self.geometry.rows_per_bank
+        if rows > 2 * margin + 1:
+            row = int(rng.integers(margin, rows - margin))
+        else:
+            row = rows // 2
+        bank = int(rng.integers(0, self.geometry.banks))
+        dominant = self.profile.coupling_classes[0]
+        column = int(rng.integers(0, self.geometry.row_bits))
+        if dominant.column_parity is not None and column % 2 != dominant.column_parity:
+            column = (column + 1) % self.geometry.row_bits
+        return (bank, row, column)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def hcfirst_target(self) -> float:
+        """The chip's sampled target ``HC_first`` in hammers."""
+        return self._hcfirst_target
+
+    @property
+    def weakest_cell(self) -> Tuple[int, int, int]:
+        """(bank, row, bit index) of the chip's weakest (planted) cell.
+
+        Exposed for calibration tests and examples; a real characterization
+        discovers this location through testing (see
+        :func:`repro.core.first_flip.find_hcfirst`).
+        """
+        return self._planted_cell
+
+    @property
+    def has_on_die_ecc(self) -> bool:
+        """Whether reads pass through an undisableable on-die SEC ECC."""
+        return self._ondie_ecc is not None
+
+    def is_rowhammerable(self, hammer_limit: int = TEST_LIMIT_HC) -> bool:
+        """Whether the chip's weakest cell is expected to flip within the limit."""
+        return self._hcfirst_target <= hammer_limit
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def write_row(self, bank: int, row: int, data: RowData) -> None:
+        """Write a full row.
+
+        ``data`` may be a fill byte (``int``), a byte buffer of exactly
+        ``row_bytes`` bytes, or a bit array of ``row_bits`` bits.  Writing a
+        row restores its charge: accumulated disturbance on its wordline is
+        cleared and any previously flipped cells take the new value.
+        """
+        self.geometry.validate_address(bank, row)
+        bits = self._coerce_row_bits(data)
+        state = self._rows.get((bank, row))
+        check_bits = None
+        if self._ondie_ecc is not None:
+            check_bits = self._ondie_ecc.encode_row(bits)
+        if state is None:
+            state = _RowState(bits=bits, check_bits=check_bits, epoch=1)
+            self._rows[(bank, row)] = state
+        else:
+            state.bits = bits
+            state.check_bits = check_bits
+            state.epoch += 1
+        wordline = self.remapper.logical_to_physical(row)
+        self._exposure[(bank, wordline)] = 0.0
+        self.stats.row_writes += 1
+
+    def fill_bank(self, bank: int, victim_byte: int, aggressor_byte: int = None) -> None:
+        """Write every row of a bank with a repeated byte pattern.
+
+        When ``aggressor_byte`` is given, rows alternate between the victim
+        byte (even physical wordlines) and the aggressor byte (odd physical
+        wordlines); this matches how row-stripe and checkered patterns are
+        laid out in memory before hammering (Section 4.3).
+        """
+        for row in range(self.geometry.rows_per_bank):
+            if aggressor_byte is None:
+                self.write_row(bank, row, victim_byte)
+            else:
+                wordline = self.remapper.logical_to_physical(row)
+                byte = victim_byte if wordline % 2 == 0 else aggressor_byte
+                self.write_row(bank, row, byte)
+
+    def read_row(self, bank: int, row: int) -> np.ndarray:
+        """Read a row as bytes, through on-die ECC when the chip has it."""
+        self.geometry.validate_address(bank, row)
+        self.stats.row_reads += 1
+        state = self._rows.get((bank, row))
+        if state is None:
+            return np.zeros(self.geometry.row_bytes, dtype=np.uint8)
+        bits = state.bits
+        if self._ondie_ecc is not None and state.check_bits is not None:
+            bits, _corrected = self._ondie_ecc.decode_row(bits, state.check_bits)
+        return np.packbits(bits)
+
+    def read_row_raw(self, bank: int, row: int) -> np.ndarray:
+        """Read the raw stored bits of a row, bypassing on-die ECC."""
+        self.geometry.validate_address(bank, row)
+        state = self._rows.get((bank, row))
+        if state is None:
+            return np.zeros(self.geometry.row_bits, dtype=np.uint8)
+        return state.bits.copy()
+
+    # ------------------------------------------------------------------
+    # Activation / hammering
+    # ------------------------------------------------------------------
+    def activate(self, bank: int, row: int, count: int = 1) -> int:
+        """Activate a logical row ``count`` times (single-sided hammering).
+
+        Returns the number of new bit flips induced in neighbouring rows.
+        """
+        self.geometry.validate_address(bank, row)
+        if count <= 0:
+            return 0
+        self.stats.activations += count
+        return self._apply_aggressor(bank, row, count)
+
+    def hammer_pair(self, bank: int, row_a: int, row_b: int, count: int) -> int:
+        """Hammer two aggressor rows ``count`` times each (double-sided).
+
+        One *hammer* is one activation of each aggressor (paper Section 4.3),
+        so this issues ``2 * count`` activations in total.  Returns the
+        number of new bit flips induced.
+        """
+        self.geometry.validate_address(bank, row_a)
+        self.geometry.validate_address(bank, row_b)
+        if count <= 0:
+            return 0
+        self.stats.activations += 2 * count
+        flips = self._apply_aggressor(bank, row_a, count)
+        flips += self._apply_aggressor(bank, row_b, count)
+        return flips
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    def refresh_row(self, bank: int, row: int) -> None:
+        """Refresh one logical row, clearing its wordline's accumulated exposure."""
+        self.geometry.validate_address(bank, row)
+        wordline = self.remapper.logical_to_physical(row)
+        self._refresh_wordline(bank, wordline)
+        self.stats.refreshes += 1
+
+    def refresh_all(self) -> None:
+        """Refresh every row in the chip."""
+        self._exposure.clear()
+        for state in self._rows.values():
+            state.epoch += 1
+        self._noise_cache.clear()
+        self.stats.refreshes += 1
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _coerce_row_bits(self, data: RowData) -> np.ndarray:
+        """Convert supported row-data forms into a bit array."""
+        row_bytes = self.geometry.row_bytes
+        if isinstance(data, (int, np.integer)):
+            if not 0 <= int(data) <= 0xFF:
+                raise ValueError("fill byte must be within [0, 255]")
+            byte_array = np.full(row_bytes, int(data), dtype=np.uint8)
+            return np.unpackbits(byte_array)
+        array = np.asarray(bytearray(data) if isinstance(data, (bytes, bytearray)) else data)
+        array = array.astype(np.uint8)
+        if array.size == row_bytes:
+            return np.unpackbits(array)
+        if array.size == self.geometry.row_bits:
+            return array.copy()
+        raise ValueError(
+            f"row data must be {row_bytes} bytes or {self.geometry.row_bits} bits, "
+            f"got {array.size} elements"
+        )
+
+    def _refresh_wordline(self, bank: int, wordline: int) -> None:
+        self._exposure.pop((bank, wordline), None)
+        for logical in self.remapper.physical_to_logical(wordline):
+            if not 0 <= logical < self.geometry.rows_per_bank:
+                continue
+            state = self._rows.get((bank, logical))
+            if state is not None:
+                state.epoch += 1
+            self._noise_cache.pop((bank, logical), None)
+
+    def _apply_aggressor(self, bank: int, aggressor_row: int, count: int) -> int:
+        """Apply ``count`` activations of one aggressor row and induce flips."""
+        aggressor_wordline = self.remapper.logical_to_physical(aggressor_row)
+        # Opening the aggressor row restores its own charge.
+        self._exposure[(bank, aggressor_wordline)] = 0.0
+        aggressor_bits = self._wordline_bits(bank, aggressor_wordline)
+        new_flips = 0
+        max_wordline = self.remapper.num_wordlines(self.geometry.rows_per_bank)
+        for distance, coupling in self.profile.distance_coupling.items():
+            for victim_wordline in (aggressor_wordline - distance, aggressor_wordline + distance):
+                if not 0 <= victim_wordline < max_wordline:
+                    continue
+                key = (bank, victim_wordline)
+                self._exposure[key] = self._exposure.get(key, 0.0) + coupling * count
+                new_flips += self._disturb_wordline(
+                    bank, victim_wordline, self._exposure[key], aggressor_bits
+                )
+        self.stats.bit_flips_induced += new_flips
+        return new_flips
+
+    def _wordline_bits(self, bank: int, wordline: int) -> Optional[np.ndarray]:
+        """Stored bits of the (first) logical row on a physical wordline."""
+        for logical in self.remapper.physical_to_logical(wordline):
+            if not 0 <= logical < self.geometry.rows_per_bank:
+                continue
+            state = self._rows.get((bank, logical))
+            if state is not None:
+                return state.bits
+            return np.zeros(self.geometry.row_bits, dtype=np.uint8)
+        return None
+
+    def _disturb_wordline(
+        self,
+        bank: int,
+        victim_wordline: int,
+        exposure: float,
+        aggressor_bits: Optional[np.ndarray],
+    ) -> int:
+        """Flip cells on a victim wordline whose thresholds are exceeded."""
+        if aggressor_bits is None:
+            aggressor_bits = np.zeros(self.geometry.row_bits, dtype=np.uint8)
+        flips = 0
+        for logical in self.remapper.physical_to_logical(victim_wordline):
+            if not 0 <= logical < self.geometry.rows_per_bank:
+                continue
+            state = self._rows.get((bank, logical))
+            if state is None:
+                # A row that has never been written holds no meaningful data;
+                # flips in it would not be observable, so skip the work.
+                continue
+            thresholds = self._effective_thresholds(bank, logical, state.epoch)
+            eligible = thresholds <= exposure
+            if not eligible.any():
+                continue
+            required_victim, required_aggressor, required_parity = self._cell_classes(bank, logical)
+            match = (
+                eligible
+                & (state.bits == required_victim)
+                & (aggressor_bits == required_aggressor)
+                & ((required_parity == 2) | (self._column_parity == required_parity))
+            )
+            flip_count = int(match.sum())
+            if flip_count:
+                state.bits[match] ^= 1
+                flips += flip_count
+        return flips
+
+    def _base_thresholds(self, bank: int, row: int) -> np.ndarray:
+        """Per-cell RowHammer thresholds (exposure units) for a logical row."""
+        key = (bank, row)
+        cached = self._thresholds.get(key)
+        if cached is not None:
+            return cached
+        rng = make_rng(self.seed, "thresholds", bank, row)
+        uniform = rng.random(self.geometry.row_bits)
+        # Inverse transform of P(T <= e) = scale * e**slope (capped at 1),
+        # floored at the planted weakest cell's threshold.
+        thresholds = (uniform / self._threshold_scale) ** (1.0 / self.profile.flip_slope)
+        np.maximum(thresholds, self._threshold_floor, out=thresholds)
+        planted_bank, planted_row, planted_column = self._planted_cell
+        if (bank, row) == (planted_bank, planted_row):
+            thresholds[planted_column] = self._threshold_floor
+        self._thresholds[key] = thresholds
+        return thresholds
+
+    def _effective_thresholds(self, bank: int, row: int, epoch: int) -> np.ndarray:
+        """Base thresholds with per-refresh-epoch jitter applied."""
+        sigma = self.profile.threshold_noise_sigma
+        base = self._base_thresholds(bank, row)
+        if sigma <= 0:
+            return base
+        cached = self._noise_cache.get((bank, row))
+        if cached is not None and cached[0] == epoch:
+            noise = cached[1]
+        else:
+            rng = make_rng(self.seed, "noise", bank, row, epoch)
+            noise = np.exp(rng.normal(0.0, sigma, self.geometry.row_bits))
+            self._noise_cache[(bank, row)] = (epoch, noise)
+        return base * noise
+
+    def _cell_classes(self, bank: int, row: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-cell coupling-class requirements for a logical row.
+
+        Returns ``(required_victim_bit, required_aggressor_bit,
+        required_parity)`` arrays; ``required_parity`` uses 2 for "any
+        column".
+        """
+        key = (bank, row)
+        cached = self._classes.get(key)
+        if cached is not None:
+            return cached
+        rng = make_rng(self.seed, "classes", bank, row)
+        probabilities = self.profile.class_probabilities()
+        class_indices = rng.choice(len(probabilities), size=self.geometry.row_bits, p=probabilities)
+        required_victim = np.empty(self.geometry.row_bits, dtype=np.uint8)
+        required_aggressor = np.empty(self.geometry.row_bits, dtype=np.uint8)
+        required_parity = np.empty(self.geometry.row_bits, dtype=np.uint8)
+        for index, cls in enumerate(self.profile.coupling_classes):
+            mask = class_indices == index
+            required_victim[mask] = cls.victim_bit
+            required_aggressor[mask] = cls.aggressor_bit
+            required_parity[mask] = 2 if cls.column_parity is None else cls.column_parity
+        planted_bank, planted_row, planted_column = self._planted_cell
+        if (bank, row) == (planted_bank, planted_row):
+            dominant = self.profile.coupling_classes[0]
+            required_victim[planted_column] = dominant.victim_bit
+            required_aggressor[planted_column] = dominant.aggressor_bit
+            required_parity[planted_column] = (
+                2 if dominant.column_parity is None else dominant.column_parity
+            )
+        result = (required_victim, required_aggressor, required_parity)
+        self._classes[key] = result
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DramChip(id={self.chip_id!r}, config={self.profile.type_node.value}/"
+            f"{self.profile.manufacturer}, hcfirst_target={self._hcfirst_target:.0f})"
+        )

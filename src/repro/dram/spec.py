@@ -1,0 +1,128 @@
+"""DRAM type specifications (organization and key timings).
+
+The values follow the JEDEC figures the paper quotes in Section 4.3: the
+activation cycle time ``tRC`` limits how fast rows can be hammered (DDR3
+52.5 ns, DDR4 50 ns, LPDDR4 60 ns), and the refresh window ``tREFW`` (64 ms,
+or 32 ms at high temperature) bounds how long a hammer routine can run
+without conflating RowHammer bit flips with retention failures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class DramType(enum.Enum):
+    """The three DRAM types characterized by the paper."""
+
+    DDR3 = "DDR3"
+    DDR4 = "DDR4"
+    LPDDR4 = "LPDDR4"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class DramTypeSpec:
+    """Organization and timing parameters of one DRAM type.
+
+    Attributes
+    ----------
+    dram_type:
+        Which JEDEC family the spec describes.
+    trc_ns:
+        Minimum time between two successive activations to the same bank
+        (nanoseconds).  This is the rate limiter for hammering.
+    refresh_window_ms:
+        Nominal refresh window tREFW in milliseconds: the interval within
+        which every row must be refreshed once.
+    refresh_interval_us:
+        Nominal interval tREFI between two refresh commands (microseconds).
+    banks:
+        Number of banks per chip.
+    rows_per_bank:
+        Number of rows per bank in a full-size device.
+    row_bytes:
+        Row (page) size in bytes per chip.
+    on_die_ecc:
+        Whether chips of this type ship with on-die single-error-correcting
+        ECC that cannot be disabled (true for the paper's LPDDR4 chips).
+    """
+
+    dram_type: DramType
+    trc_ns: float
+    refresh_window_ms: float
+    refresh_interval_us: float
+    banks: int
+    rows_per_bank: int
+    row_bytes: int
+    on_die_ecc: bool
+
+    @property
+    def rows_per_refresh_window(self) -> int:
+        """Number of refresh commands per refresh window (tREFW / tREFI)."""
+        return int(round(self.refresh_window_ms * 1000.0 / self.refresh_interval_us))
+
+    @property
+    def row_bits(self) -> int:
+        """Row size in bits."""
+        return self.row_bytes * 8
+
+    def max_hammers_in_refresh_window(self, refresh_window_ms: float = None) -> int:
+        """Maximum double-sided hammer count that fits in one refresh window.
+
+        One hammer is one activation to each of the two aggressor rows, so a
+        hammer costs ``2 * tRC``.  The paper keeps its core test loop under
+        the 32 ms minimum refresh window; by default this method uses the
+        spec's nominal window.
+        """
+        window_ms = self.refresh_window_ms if refresh_window_ms is None else refresh_window_ms
+        window_ns = window_ms * 1e6
+        return int(window_ns // (2.0 * self.trc_ns))
+
+
+#: Specifications for the three characterized DRAM types.  The organization
+#: figures describe a representative full-size chip; simulated chips used in
+#: tests and benchmarks are constructed with fewer rows/banks for speed (the
+#: vulnerability model calibrates itself to the actual simulated cell count,
+#: see :mod:`repro.dram.vulnerability`).
+SPECS: Dict[DramType, DramTypeSpec] = {
+    DramType.DDR3: DramTypeSpec(
+        dram_type=DramType.DDR3,
+        trc_ns=52.5,
+        refresh_window_ms=64.0,
+        refresh_interval_us=7.8,
+        banks=8,
+        rows_per_bank=32768,
+        row_bytes=1024,
+        on_die_ecc=False,
+    ),
+    DramType.DDR4: DramTypeSpec(
+        dram_type=DramType.DDR4,
+        trc_ns=50.0,
+        refresh_window_ms=64.0,
+        refresh_interval_us=7.8,
+        banks=16,
+        rows_per_bank=32768,
+        row_bytes=1024,
+        on_die_ecc=False,
+    ),
+    DramType.LPDDR4: DramTypeSpec(
+        dram_type=DramType.LPDDR4,
+        trc_ns=60.0,
+        refresh_window_ms=32.0,
+        refresh_interval_us=3.9,
+        banks=8,
+        rows_per_bank=65536,
+        row_bytes=2048,
+        on_die_ecc=True,
+    ),
+}
+
+
+def spec_for(dram_type: DramType) -> DramTypeSpec:
+    """Return the :class:`DramTypeSpec` for a DRAM type."""
+    return SPECS[dram_type]

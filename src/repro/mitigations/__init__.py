@@ -1,0 +1,41 @@
+"""RowHammer mitigation mechanisms evaluated by the paper (Section 6).
+
+Five state-of-the-art mechanisms plus the ideal refresh-based mechanism:
+
+* :class:`~repro.mitigations.refresh_rate.IncreasedRefreshRate` [Kim+ ISCA'14]
+* :class:`~repro.mitigations.para.PARA` [Kim+ ISCA'14]
+* :class:`~repro.mitigations.prohit.ProHIT` [Son+ DAC'17]
+* :class:`~repro.mitigations.mrloc.MRLoc` [You+ DAC'19]
+* :class:`~repro.mitigations.twice.TWiCe` (and TWiCe-ideal) [Lee+ ISCA'19]
+* :class:`~repro.mitigations.ideal.IdealRefresh` (oracle selective refresh)
+
+All mechanisms plug into the memory controller through the
+:class:`~repro.mitigations.base.MitigationMechanism` interface.
+"""
+
+from repro.mitigations.base import MitigationMechanism, MitigationConfig
+from repro.mitigations.refresh_rate import IncreasedRefreshRate
+from repro.mitigations.para import PARA
+from repro.mitigations.prohit import ProHIT
+from repro.mitigations.mrloc import MRLoc
+from repro.mitigations.twice import TWiCe
+from repro.mitigations.ideal import IdealRefresh
+from repro.mitigations.registry import (
+    MECHANISM_FACTORIES,
+    build_mechanism,
+    available_mechanisms,
+)
+
+__all__ = [
+    "MitigationMechanism",
+    "MitigationConfig",
+    "IncreasedRefreshRate",
+    "PARA",
+    "ProHIT",
+    "MRLoc",
+    "TWiCe",
+    "IdealRefresh",
+    "MECHANISM_FACTORIES",
+    "build_mechanism",
+    "available_mechanisms",
+]

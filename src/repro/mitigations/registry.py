@@ -1,0 +1,72 @@
+"""Registry of mitigation mechanisms for the evaluation harness.
+
+The Figure 10 benchmark sweeps mechanisms by name; this module maps names to
+factories so the harness, examples and tests construct them uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.mitigations.base import MitigationConfig, MitigationMechanism
+from repro.mitigations.ideal import IdealRefresh
+from repro.mitigations.mrloc import MRLoc
+from repro.mitigations.para import PARA
+from repro.mitigations.prohit import ProHIT
+from repro.mitigations.refresh_rate import IncreasedRefreshRate
+from repro.mitigations.twice import TWiCe
+
+MechanismFactory = Callable[[MitigationConfig], MitigationMechanism]
+
+#: Factories for every evaluated mechanism, keyed by the name used in reports.
+MECHANISM_FACTORIES: Dict[str, MechanismFactory] = {
+    "IncreasedRefresh": IncreasedRefreshRate,
+    "PARA": PARA,
+    "ProHIT": ProHIT,
+    "MRLoc": MRLoc,
+    "TWiCe": lambda config: TWiCe(config, ideal=False),
+    "TWiCe-ideal": lambda config: TWiCe(config, ideal=True),
+    "Ideal": IdealRefresh,
+}
+
+#: HC_first ranges over which each mechanism can be meaningfully evaluated
+#: (Section 6.1): ProHIT and MRLoc are only tuned for HC_first = 2000; the
+#: increased refresh rate and non-ideal TWiCe do not scale below 32k.
+EVALUATION_CONSTRAINTS: Dict[str, Callable[[int], bool]] = {
+    "IncreasedRefresh": lambda hcfirst: hcfirst >= 32_000,
+    "PARA": lambda hcfirst: True,
+    "ProHIT": lambda hcfirst: hcfirst == 2_000,
+    "MRLoc": lambda hcfirst: hcfirst == 2_000,
+    "TWiCe": lambda hcfirst: hcfirst >= 32_000,
+    "TWiCe-ideal": lambda hcfirst: True,
+    "Ideal": lambda hcfirst: True,
+}
+
+
+def available_mechanisms() -> List[str]:
+    """Names of all registered mechanisms."""
+    return list(MECHANISM_FACTORIES)
+
+
+def build_mechanism(name: str, config: MitigationConfig) -> MitigationMechanism:
+    """Construct a mechanism by registry name.
+
+    >>> from repro.mitigations.base import MitigationConfig
+    >>> build_mechanism("PARA", MitigationConfig(hcfirst=4800)).name
+    'PARA'
+    """
+    try:
+        factory = MECHANISM_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {name!r}; available: {available_mechanisms()}"
+        ) from None
+    return factory(config)
+
+
+def is_evaluable(name: str, hcfirst: int) -> bool:
+    """Whether the paper evaluates mechanism ``name`` at this HC_first value."""
+    constraint = EVALUATION_CONSTRAINTS.get(name)
+    if constraint is None:
+        return True
+    return constraint(hcfirst)

@@ -1,0 +1,48 @@
+"""Cycle-level DDR4 memory-system simulator.
+
+This package replaces the paper's Ramulator + SPEC CPU2006 setup (Table 6)
+with a pure-Python equivalent:
+
+* :mod:`repro.sim.config` -- the simulated system configuration (Table 6).
+* :mod:`repro.sim.timing` -- DDR4 timing parameters in DRAM-bus cycles.
+* :mod:`repro.sim.requests` -- memory requests and their life cycle.
+* :mod:`repro.sim.bank` -- per-bank and per-rank timing state machines.
+* :mod:`repro.sim.controller` -- FR-FCFS memory controller with refresh and
+  RowHammer-mitigation hooks.
+* :mod:`repro.sim.core` -- the simple out-of-order-window core model.
+* :mod:`repro.sim.trace` -- synthetic memory-access trace generation.
+* :mod:`repro.sim.workloads` -- SPEC-like benchmark profiles and the 8-core
+  workload mixes used in the evaluation.
+* :mod:`repro.sim.metrics` -- weighted speedup and bandwidth-overhead metrics.
+* :mod:`repro.sim.system` -- the top-level multi-core simulation harness.
+"""
+
+from repro.sim.config import SystemConfig
+from repro.sim.timing import DramTimings, DDR4_2400
+from repro.sim.requests import MemoryRequest, RequestType
+from repro.sim.controller import MemoryController, ControllerStats
+from repro.sim.core import SimpleCore
+from repro.sim.trace import SyntheticTraceGenerator, TraceRecord
+from repro.sim.workloads import BenchmarkProfile, SPEC_LIKE_BENCHMARKS, make_workload_mixes
+from repro.sim.metrics import weighted_speedup, normalized_performance
+from repro.sim.system import Simulation, SimulationResult
+
+__all__ = [
+    "SystemConfig",
+    "DramTimings",
+    "DDR4_2400",
+    "MemoryRequest",
+    "RequestType",
+    "MemoryController",
+    "ControllerStats",
+    "SimpleCore",
+    "SyntheticTraceGenerator",
+    "TraceRecord",
+    "BenchmarkProfile",
+    "SPEC_LIKE_BENCHMARKS",
+    "make_workload_mixes",
+    "weighted_speedup",
+    "normalized_performance",
+    "Simulation",
+    "SimulationResult",
+]

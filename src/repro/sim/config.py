@@ -1,0 +1,66 @@
+"""Simulated system configuration (paper Table 6).
+
+The paper evaluates an 8-core, 4 GHz system with a 4-wide issue width, a
+128-entry instruction window, a 16 MB last-level cache, an FR-FCFS memory
+controller with 64-entry read/write queues, and a single-channel,
+single-rank DDR4 main memory with 16 banks and 16k rows per bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.timing import DDR4_2400, DramTimings
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Parameters of the simulated system.
+
+    The defaults reproduce Table 6.  ``rows_per_bank`` can be reduced for
+    faster experiments; mitigation mechanisms size their tracking structures
+    from it.
+    """
+
+    cores: int = 8
+    cpu_freq_ghz: float = 4.0
+    issue_width: int = 4
+    instruction_window: int = 128
+    cache_line_bytes: int = 64
+    read_queue_depth: int = 64
+    write_queue_depth: int = 64
+    channels: int = 1
+    ranks: int = 1
+    banks: int = 16
+    rows_per_bank: int = 16384
+    columns_per_row: int = 128
+    timings: DramTimings = field(default_factory=lambda: DDR4_2400)
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.banks <= 0 or self.rows_per_bank <= 0:
+            raise ValueError("banks and rows_per_bank must be positive")
+        if self.issue_width <= 0 or self.instruction_window <= 0:
+            raise ValueError("issue_width and instruction_window must be positive")
+
+    @property
+    def cpu_cycles_per_dram_cycle(self) -> float:
+        """CPU clock cycles per DRAM bus cycle (the simulation ticks in DRAM cycles)."""
+        dram_freq_ghz = 1.0 / self.timings.tck_ns
+        return self.cpu_freq_ghz / dram_freq_ghz
+
+    @property
+    def total_rows(self) -> int:
+        """Total DRAM rows across all banks."""
+        return self.banks * self.rows_per_bank
+
+
+#: Configuration used for quick tests: fewer banks and rows, smaller queues.
+SMALL_SYSTEM = SystemConfig(
+    cores=2,
+    banks=4,
+    rows_per_bank=512,
+    read_queue_depth=16,
+    write_queue_depth=16,
+)

@@ -1,0 +1,319 @@
+"""FR-FCFS memory controller with refresh and RowHammer-mitigation hooks.
+
+The controller services read/write requests from the cores over a single
+channel and rank (Table 6), scheduling with the FR-FCFS policy: row-buffer
+hits first, then oldest-first.  It issues all-bank refresh every tREFI and
+exposes two hooks to a RowHammer mitigation mechanism:
+
+* ``on_activate(bank, row, cycle)`` is called for every demand activation and
+  returns rows the mechanism wants refreshed (performed as internal
+  victim-refresh requests that occupy the bank for a full row cycle), and
+* ``on_refresh(cycle)`` is called at every periodic refresh command (used by
+  mechanisms such as ProHIT that piggyback victim refreshes on refresh).
+
+The controller also accounts separately for the DRAM bank-time consumed by
+demand traffic, by nominal refresh, and by the mitigation mechanism, which
+is what the bandwidth-overhead metric of Figure 10a reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.sim.bank import BankState, RankState
+from repro.sim.config import SystemConfig
+from repro.sim.requests import MemoryRequest, RequestType
+
+
+@dataclass
+class ControllerStats:
+    """Cumulative controller statistics."""
+
+    cycles: int = 0
+    reads_serviced: int = 0
+    writes_serviced: int = 0
+    demand_activates: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    refresh_commands: int = 0
+    refresh_busy_cycles: int = 0
+    mitigation_refreshes: int = 0
+    mitigation_busy_cycles: int = 0
+    demand_busy_cycles: int = 0
+    read_latency_total: int = 0
+    read_latency_samples: int = 0
+
+    @property
+    def average_read_latency(self) -> float:
+        """Mean read latency in DRAM cycles."""
+        if self.read_latency_samples == 0:
+            return 0.0
+        return self.read_latency_total / self.read_latency_samples
+
+
+class MemoryController:
+    """Single-channel FR-FCFS memory controller.
+
+    Parameters
+    ----------
+    config:
+        System configuration (bank count, queue depths, timings).
+    mitigation:
+        Optional RowHammer mitigation mechanism implementing the
+        :class:`repro.mitigations.base.MitigationMechanism` interface.  The
+        mechanism may also override the refresh interval (increased refresh
+        rate) through its ``refresh_interval_multiplier``.
+    """
+
+    def __init__(self, config: SystemConfig, mitigation=None) -> None:
+        self.config = config
+        self.mitigation = mitigation
+        timings = config.timings
+        if mitigation is not None:
+            multiplier = mitigation.refresh_interval_multiplier()
+            if multiplier != 1.0:
+                timings = timings.scaled_refresh(multiplier)
+        self.timings = timings
+        self._nominal_trefi = config.timings.trefi
+
+        self.banks: List[BankState] = [BankState(timings) for _ in range(config.banks)]
+        self.rank = RankState(timings)
+        self.read_queue: List[MemoryRequest] = []
+        self.write_queue: List[MemoryRequest] = []
+        self.victim_queue: List[MemoryRequest] = []
+        self._pending_completions: List[Tuple[int, MemoryRequest]] = []
+        self._next_refresh = timings.trefi
+        self._refresh_until = 0
+        self.stats = ControllerStats()
+        #: Optional observers for co-simulation with a behavioural chip model:
+        #: called as ``hook(bank, row, cycle)`` on every demand activation /
+        #: victim refresh the controller issues.
+        self.activate_hook = None
+        self.victim_refresh_hook = None
+
+    # ------------------------------------------------------------------
+    # Enqueue interface (used by cores)
+    # ------------------------------------------------------------------
+    def can_accept(self, request: MemoryRequest) -> bool:
+        """Whether the appropriate request queue has space."""
+        if request.is_read:
+            return len(self.read_queue) < self.config.read_queue_depth
+        if request.is_write:
+            return len(self.write_queue) < self.config.write_queue_depth
+        return True
+
+    def enqueue(self, request: MemoryRequest, cycle: int) -> bool:
+        """Add a request to the controller; returns ``False`` if the queue is full."""
+        if not self.can_accept(request):
+            return False
+        request.arrival_cycle = cycle
+        if request.is_read:
+            self.read_queue.append(request)
+        elif request.is_write:
+            self.write_queue.append(request)
+            # Posted write: the core considers it done once buffered.
+            request.complete(cycle)
+        else:
+            self.victim_queue.append(request)
+        return True
+
+    @property
+    def outstanding_requests(self) -> int:
+        """Number of requests currently queued or in flight."""
+        return (
+            len(self.read_queue)
+            + len(self.write_queue)
+            + len(self.victim_queue)
+            + len(self._pending_completions)
+        )
+
+    # ------------------------------------------------------------------
+    # Main tick
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Advance the controller by one DRAM cycle."""
+        self.stats.cycles = cycle + 1
+        self._complete_due(cycle)
+        self._maybe_refresh(cycle)
+        if cycle < self._refresh_until:
+            return  # the rank is busy with an all-bank refresh
+        self._schedule(cycle)
+
+    # ------------------------------------------------------------------
+    # Refresh handling
+    # ------------------------------------------------------------------
+    def _maybe_refresh(self, cycle: int) -> None:
+        if cycle < self._next_refresh:
+            return
+        timings = self.timings
+        # Close all banks and block the rank for tRFC.
+        start = cycle
+        for bank in self.banks:
+            start = max(start, bank.next_precharge if bank.open_row is not None else cycle)
+        end = start + timings.trfc
+        for bank in self.banks:
+            bank.block_until(end)
+        self._refresh_until = end
+        self._next_refresh += timings.trefi
+        self.stats.refresh_commands += 1
+        self.stats.refresh_busy_cycles += timings.trfc
+        if self.mitigation is not None:
+            for bank, row in self.mitigation.on_refresh(cycle):
+                self._enqueue_victim_refresh(bank, row, cycle)
+
+    # ------------------------------------------------------------------
+    # Scheduling (FR-FCFS)
+    # ------------------------------------------------------------------
+    def _schedule(self, cycle: int) -> None:
+        # Victim refreshes have priority: they are the mitigation mechanism's
+        # correctness-critical work.
+        if self.victim_queue and self._issue_victim_refresh(cycle):
+            return
+        if self._issue_from_queue(self.read_queue, cycle, is_write=False):
+            return
+        # Drain writes when there is no read work to do or the queue is deep.
+        drain_writes = (
+            not self.read_queue
+            or len(self.write_queue) >= self.config.write_queue_depth // 2
+        )
+        if drain_writes and self._issue_from_queue(self.write_queue, cycle, is_write=True):
+            return
+
+    def _issue_victim_refresh(self, cycle: int) -> bool:
+        for index, request in enumerate(self.victim_queue):
+            bank = self.banks[request.bank]
+            if bank.open_row is not None:
+                if bank.can_precharge(cycle):
+                    bank.precharge(cycle)
+                    return True
+                continue
+            if bank.can_activate(cycle) and self.rank.can_activate(cycle):
+                # A victim refresh is an activate followed by a precharge; the
+                # bank is occupied for a full row cycle.
+                bank.activate(cycle, request.row)
+                self.rank.record_activate(cycle)
+                bank.block_until(cycle + self.timings.trc)
+                self.stats.mitigation_refreshes += 1
+                self.stats.mitigation_busy_cycles += self.timings.trc
+                request.complete(cycle + self.timings.trc)
+                self.victim_queue.pop(index)
+                if self.mitigation is not None:
+                    self.mitigation.on_victim_refreshed(request.bank, request.row, cycle)
+                if self.victim_refresh_hook is not None:
+                    self.victim_refresh_hook(request.bank, request.row, cycle)
+                return True
+        return False
+
+    def _issue_from_queue(
+        self, queue: List[MemoryRequest], cycle: int, is_write: bool
+    ) -> bool:
+        if not queue:
+            return False
+        # First ready: a request whose row is already open and can issue its
+        # column access now (row hit).
+        for index, request in enumerate(queue):
+            bank = self.banks[request.bank]
+            if (
+                bank.open_row == request.row
+                and bank.can_column_access(cycle, is_write)
+                and self.rank.can_use_data_bus(cycle)
+            ):
+                self._issue_column(queue, index, cycle, is_write)
+                return True
+        # Then oldest first: progress the oldest request towards opening its row.
+        for index, request in enumerate(queue):
+            bank = self.banks[request.bank]
+            if bank.open_row == request.row:
+                continue  # waiting for column timing; nothing to issue
+            if bank.open_row is not None:
+                if bank.can_precharge(cycle) and not self._row_has_pending_hit(bank, queue):
+                    bank.precharge(cycle)
+                    self.stats.row_conflicts += 1
+                    return True
+                continue
+            if bank.can_activate(cycle) and self.rank.can_activate(cycle):
+                bank.activate(cycle, request.row)
+                self.rank.record_activate(cycle)
+                self.stats.demand_activates += 1
+                self.stats.demand_busy_cycles += self.timings.trc
+                self._notify_activation(request.bank, request.row, cycle)
+                if self.activate_hook is not None:
+                    self.activate_hook(request.bank, request.row, cycle)
+                return True
+        return False
+
+    def _row_has_pending_hit(self, bank: BankState, queue: List[MemoryRequest]) -> bool:
+        """Whether any queued request still targets the bank's open row."""
+        open_row = bank.open_row
+        bank_index = self.banks.index(bank)
+        return any(
+            request.bank == bank_index and request.row == open_row for request in queue
+        )
+
+    def _issue_column(
+        self, queue: List[MemoryRequest], index: int, cycle: int, is_write: bool
+    ) -> None:
+        request = queue.pop(index)
+        bank = self.banks[request.bank]
+        data_done = bank.column_access(cycle, is_write)
+        self.rank.occupy_data_bus(cycle)
+        self.stats.row_hits += 1
+        self.stats.demand_busy_cycles += self.timings.burst_cycles
+        if is_write:
+            self.stats.writes_serviced += 1
+            return
+        self.stats.reads_serviced += 1
+        self._pending_completions.append((data_done, request))
+
+    def _complete_due(self, cycle: int) -> None:
+        if not self._pending_completions:
+            return
+        still_pending = []
+        for done_cycle, request in self._pending_completions:
+            if done_cycle <= cycle:
+                request.complete(cycle)
+                self.stats.read_latency_total += cycle - request.arrival_cycle
+                self.stats.read_latency_samples += 1
+            else:
+                still_pending.append((done_cycle, request))
+        self._pending_completions = still_pending
+
+    # ------------------------------------------------------------------
+    # Mitigation integration
+    # ------------------------------------------------------------------
+    def _notify_activation(self, bank: int, row: int, cycle: int) -> None:
+        if self.mitigation is None:
+            return
+        for victim_bank, victim_row in self.mitigation.on_activate(bank, row, cycle):
+            self._enqueue_victim_refresh(victim_bank, victim_row, cycle)
+
+    def _enqueue_victim_refresh(self, bank: int, row: int, cycle: int) -> None:
+        if not 0 <= row < self.config.rows_per_bank:
+            return
+        request = MemoryRequest(
+            request_type=RequestType.VICTIM_REFRESH,
+            bank=bank,
+            row=row,
+            core_id=-1,
+            arrival_cycle=cycle,
+        )
+        self.victim_queue.append(request)
+
+    # ------------------------------------------------------------------
+    # Bandwidth accounting
+    # ------------------------------------------------------------------
+    def extra_refresh_busy_cycles(self) -> float:
+        """Refresh bank-time beyond what the nominal refresh rate would use.
+
+        Non-zero only when a mitigation mechanism increases the refresh rate.
+        """
+        if self.timings.trefi >= self._nominal_trefi:
+            return 0.0
+        nominal_refreshes = self.stats.cycles / self._nominal_trefi
+        nominal_busy = nominal_refreshes * self.timings.trfc
+        return max(0.0, self.stats.refresh_busy_cycles - nominal_busy)
+
+    def mitigation_busy_cycles(self) -> float:
+        """Total DRAM bank-time consumed by the mitigation mechanism."""
+        return self.stats.mitigation_busy_cycles + self.extra_refresh_busy_cycles()

@@ -1,0 +1,166 @@
+"""Simple core model (Table 6: 4 GHz, 4-wide issue, 128-entry window).
+
+The core executes a trace of interleaved non-memory instructions and memory
+requests.  Non-memory instructions retire at the issue width; memory reads
+occupy a slot in the instruction window until their data returns from the
+memory controller, providing memory-level parallelism bounded by the window
+size; writes are posted and never stall the core.  This matches the simple
+core model used by Ramulator-based evaluations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence
+
+from repro.sim.config import SystemConfig
+from repro.sim.requests import MemoryRequest, RequestType
+from repro.sim.trace import TraceRecord
+
+
+@dataclass
+class CoreStats:
+    """Cumulative statistics for one core."""
+
+    cpu_cycles: int = 0
+    instructions_retired: int = 0
+    memory_reads_issued: int = 0
+    memory_writes_issued: int = 0
+    stall_cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions retired per CPU cycle."""
+        if self.cpu_cycles == 0:
+            return 0.0
+        return self.instructions_retired / self.cpu_cycles
+
+
+class _WindowEntry:
+    """One in-flight instruction-window entry (a pending memory read)."""
+
+    __slots__ = ("completed",)
+
+    def __init__(self) -> None:
+        self.completed = False
+
+
+class SimpleCore:
+    """Trace-driven core with an instruction window.
+
+    Parameters
+    ----------
+    core_id:
+        Index of the core in the simulated system.
+    trace:
+        The memory-access trace to execute.  The trace repeats from the
+        beginning if the simulation runs longer than the trace.
+    config:
+        System configuration (issue width, window size).
+    controller:
+        The shared memory controller the core sends its requests to.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Sequence[TraceRecord],
+        config: SystemConfig,
+        controller,
+    ) -> None:
+        if not trace:
+            raise ValueError("trace must contain at least one record")
+        self.core_id = core_id
+        self.trace = list(trace)
+        self.config = config
+        self.controller = controller
+        self.stats = CoreStats()
+
+        self._trace_index = 0
+        self._bubbles_remaining = self.trace[0].bubble_instructions
+        self._window: Deque[_WindowEntry] = deque()
+
+    # ------------------------------------------------------------------
+    # Trace stepping
+    # ------------------------------------------------------------------
+    def _advance_trace(self) -> None:
+        self._trace_index = (self._trace_index + 1) % len(self.trace)
+        self._bubbles_remaining = self.trace[self._trace_index].bubble_instructions
+
+    def _current_record(self) -> TraceRecord:
+        return self.trace[self._trace_index]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Advance the core by one CPU cycle.
+
+        ``cycle`` is the current DRAM cycle, used only to timestamp requests.
+        """
+        self.stats.cpu_cycles += 1
+        self._retire()
+        issued = 0
+        made_progress = False
+        while issued < self.config.issue_width:
+            if self._bubbles_remaining > 0:
+                self._bubbles_remaining -= 1
+                self.stats.instructions_retired += 1
+                issued += 1
+                made_progress = True
+                continue
+            # The next instruction is a memory request.
+            record = self._current_record()
+            if record.is_write:
+                request = MemoryRequest(
+                    request_type=RequestType.WRITE,
+                    bank=record.bank,
+                    row=record.row,
+                    column=record.column,
+                    core_id=self.core_id,
+                )
+                if not self.controller.enqueue(request, cycle):
+                    break  # write queue full; retry next cycle
+                self.stats.memory_writes_issued += 1
+            else:
+                if len(self._window) >= self.config.instruction_window:
+                    break  # the window is full of outstanding reads
+                entry = _WindowEntry()
+                request = MemoryRequest(
+                    request_type=RequestType.READ,
+                    bank=record.bank,
+                    row=record.row,
+                    column=record.column,
+                    core_id=self.core_id,
+                    completion_callback=lambda _cycle, entry=entry: setattr(
+                        entry, "completed", True
+                    ),
+                )
+                if not self.controller.enqueue(request, cycle):
+                    break  # read queue full; retry next cycle
+                self._window.append(entry)
+                self.stats.memory_reads_issued += 1
+            # The memory instruction itself counts as one retired instruction.
+            self.stats.instructions_retired += 1
+            issued += 1
+            made_progress = True
+            self._advance_trace()
+        if not made_progress:
+            self.stats.stall_cycles += 1
+
+    def _retire(self) -> None:
+        """Retire completed reads from the head of the window (in order)."""
+        retired = 0
+        while (
+            self._window
+            and self._window[0].completed
+            and retired < self.config.issue_width
+        ):
+            self._window.popleft()
+            retired += 1
+
+    @property
+    def outstanding_reads(self) -> int:
+        """Number of reads currently occupying the instruction window."""
+        return len(self._window)

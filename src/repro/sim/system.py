@@ -1,0 +1,150 @@
+"""Top-level multi-core simulation harness.
+
+A :class:`Simulation` wires a set of trace-driven cores to one memory
+controller (optionally carrying a RowHammer mitigation mechanism) and runs
+the whole system at DRAM-cycle granularity, ticking each core the
+appropriate number of CPU cycles per DRAM cycle.  The result carries
+per-core IPCs and the controller's bandwidth accounting, from which the
+evaluation derives weighted speedup, normalized performance, and DRAM
+bandwidth overhead (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.config import SystemConfig
+from repro.sim.controller import ControllerStats, MemoryController
+from repro.sim.core import CoreStats, SimpleCore
+from repro.sim.metrics import bandwidth_overhead_percent, weighted_speedup
+from repro.sim.trace import TraceRecord
+from repro.sim.workloads import WorkloadMix
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    dram_cycles: int
+    core_ipcs: List[float]
+    core_stats: List[CoreStats]
+    controller_stats: ControllerStats
+    mitigation_busy_cycles: float
+    demand_busy_cycles: float
+    mitigation_name: str = "none"
+
+    @property
+    def bandwidth_overhead_percent(self) -> float:
+        """DRAM bank-time the mitigation consumed relative to demand traffic."""
+        return bandwidth_overhead_percent(
+            self.mitigation_busy_cycles, self.demand_busy_cycles
+        )
+
+    def weighted_speedup_against(self, alone_ipcs: Sequence[float]) -> float:
+        """Weighted speedup of this run given per-core alone IPCs."""
+        return weighted_speedup(self.core_ipcs, alone_ipcs)
+
+
+class Simulation:
+    """One multi-core memory-system simulation.
+
+    Parameters
+    ----------
+    config:
+        System configuration.
+    traces:
+        One trace per core (the number of traces defines the core count for
+        the run; it may be smaller than ``config.cores`` for single-core
+        "alone" runs used in weighted-speedup computation).
+    mitigation:
+        Optional RowHammer mitigation mechanism attached to the controller.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: Sequence[Sequence[TraceRecord]],
+        mitigation=None,
+    ) -> None:
+        if not traces:
+            raise ValueError("at least one core trace is required")
+        self.config = config
+        self.controller = MemoryController(config, mitigation=mitigation)
+        self.cores = [
+            SimpleCore(core_id, trace, config, self.controller)
+            for core_id, trace in enumerate(traces)
+        ]
+        self.mitigation = mitigation
+
+    def run(self, dram_cycles: int) -> SimulationResult:
+        """Run the system for a fixed number of DRAM cycles."""
+        if dram_cycles <= 0:
+            raise ValueError("dram_cycles must be positive")
+        cpu_ratio = self.config.cpu_cycles_per_dram_cycle
+        cpu_cycle_debt = 0.0
+        for cycle in range(dram_cycles):
+            self.controller.tick(cycle)
+            cpu_cycle_debt += cpu_ratio
+            ticks = int(cpu_cycle_debt)
+            cpu_cycle_debt -= ticks
+            for _ in range(ticks):
+                for core in self.cores:
+                    core.tick(cycle)
+        stats = self.controller.stats
+        return SimulationResult(
+            dram_cycles=dram_cycles,
+            core_ipcs=[core.stats.ipc for core in self.cores],
+            core_stats=[core.stats for core in self.cores],
+            controller_stats=stats,
+            mitigation_busy_cycles=self.controller.mitigation_busy_cycles(),
+            demand_busy_cycles=float(stats.demand_busy_cycles),
+            mitigation_name=getattr(self.mitigation, "name", "none"),
+        )
+
+
+def run_workload(
+    config: SystemConfig,
+    mix: WorkloadMix,
+    dram_cycles: int = 20_000,
+    requests_per_core: int = 4_000,
+    mitigation=None,
+    seed: int = 0,
+) -> SimulationResult:
+    """Convenience wrapper: build traces for a mix and run it."""
+    traces = mix.build_traces(
+        banks=config.banks,
+        rows_per_bank=config.rows_per_bank,
+        columns_per_row=config.columns_per_row,
+        requests_per_core=requests_per_core,
+        seed=seed,
+    )
+    simulation = Simulation(config, traces, mitigation=mitigation)
+    return simulation.run(dram_cycles)
+
+
+def run_alone_ipcs(
+    config: SystemConfig,
+    mix: WorkloadMix,
+    dram_cycles: int = 20_000,
+    requests_per_core: int = 4_000,
+    seed: int = 0,
+) -> List[float]:
+    """Per-benchmark alone IPCs (each benchmark run on the system by itself).
+
+    Used as the denominator of the weighted-speedup metric.  Results are
+    deterministic for a given seed, so callers typically cache them per mix.
+    """
+    traces = mix.build_traces(
+        banks=config.banks,
+        rows_per_bank=config.rows_per_bank,
+        columns_per_row=config.columns_per_row,
+        requests_per_core=requests_per_core,
+        seed=seed,
+    )
+    alone_ipcs: List[float] = []
+    for trace in traces:
+        simulation = Simulation(config, [trace], mitigation=None)
+        result = simulation.run(dram_cycles)
+        alone_ipcs.append(result.core_ipcs[0])
+    return alone_ipcs

@@ -1,0 +1,107 @@
+"""DDR4 timing parameters expressed in DRAM-bus clock cycles.
+
+The simulator ticks once per DRAM bus cycle.  The parameter values follow
+the DDR4-2400 speed bin, which matches the modules in the paper's DDR4
+population (appendix Table 7) and the tRC of roughly 46 ns the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """DRAM timing parameters (in DRAM bus cycles unless noted).
+
+    Attributes
+    ----------
+    tck_ns:
+        Bus clock period in nanoseconds.
+    trcd, tcl, trp, tras, trc:
+        Core row/column timings.
+    trrd_s, trrd_l, tfaw:
+        Activate-to-activate constraints across banks.
+    tccd_s, tccd_l, burst_cycles:
+        Column-to-column and data-burst occupancy.
+    twr, trtp, twtr:
+        Write-recovery and turnaround timings.
+    trfc, trefi:
+        All-bank refresh latency and nominal refresh interval.
+    refresh_window_ms:
+        Refresh window tREFW in milliseconds (64 ms nominal).
+    """
+
+    tck_ns: float = 0.833
+    trcd: int = 16
+    tcl: int = 16
+    trp: int = 16
+    tras: int = 39
+    trc: int = 55
+    trrd_s: int = 4
+    trrd_l: int = 6
+    tfaw: int = 26
+    tccd_s: int = 4
+    tccd_l: int = 6
+    burst_cycles: int = 4
+    twr: int = 18
+    trtp: int = 9
+    twtr: int = 4
+    trfc: int = 420
+    trefi: int = 9360
+    refresh_window_ms: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.trc < self.tras + self.trp - 1:
+            raise ValueError("tRC must cover tRAS + tRP")
+        if self.trefi <= self.trfc:
+            raise ValueError("tREFI must exceed tRFC")
+
+    @property
+    def trc_ns(self) -> float:
+        """Activate-to-activate time of one bank in nanoseconds."""
+        return self.trc * self.tck_ns
+
+    @property
+    def refresh_window_cycles(self) -> int:
+        """Refresh window tREFW in DRAM cycles."""
+        return int(self.refresh_window_ms * 1e6 / self.tck_ns)
+
+    @property
+    def refreshes_per_window(self) -> int:
+        """Number of refresh commands per refresh window (tREFW / tREFI)."""
+        return max(1, self.refresh_window_cycles // self.trefi)
+
+    def scaled_refresh(self, interval_multiplier: float) -> "DramTimings":
+        """Return a copy with the refresh interval scaled by a multiplier.
+
+        Used by the increased-refresh-rate mitigation: a multiplier below one
+        refreshes more often.
+        """
+        if interval_multiplier <= 0:
+            raise ValueError("interval_multiplier must be positive")
+        new_trefi = max(self.trfc + 1, int(self.trefi * interval_multiplier))
+        return DramTimings(
+            tck_ns=self.tck_ns,
+            trcd=self.trcd,
+            tcl=self.tcl,
+            trp=self.trp,
+            tras=self.tras,
+            trc=self.trc,
+            trrd_s=self.trrd_s,
+            trrd_l=self.trrd_l,
+            tfaw=self.tfaw,
+            tccd_s=self.tccd_s,
+            tccd_l=self.tccd_l,
+            burst_cycles=self.burst_cycles,
+            twr=self.twr,
+            trtp=self.trtp,
+            twtr=self.twtr,
+            trfc=self.trfc,
+            trefi=new_trefi,
+            refresh_window_ms=self.refresh_window_ms * interval_multiplier,
+        )
+
+
+#: DDR4-2400 timing set used by the evaluation (Table 6 / Table 7 modules).
+DDR4_2400 = DramTimings()

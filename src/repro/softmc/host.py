@@ -1,0 +1,155 @@
+"""Host-side controller for the SoftMC-like test infrastructure.
+
+The host wraps a :class:`~repro.dram.chip.DramChip` and exposes the
+operations the paper's testing methodology needs: fine-grained command
+issue, refresh enable/disable, per-row refresh, raw row reads and writes,
+bulk hammering, and temperature control.  Every operation is recorded in a
+:class:`~repro.softmc.commands.CommandTrace` so the generated command
+stream can be inspected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.dram.chip import DramChip, RowData
+from repro.softmc.commands import CommandKind, CommandTrace, DramCommand
+from repro.softmc.temperature import TemperatureController
+
+
+class RefreshEnabledError(RuntimeError):
+    """Raised when a hammer routine is attempted with auto-refresh enabled.
+
+    The paper disables all DRAM self-regulation events during the core loop
+    of every RowHammer test so the measured effects are purely circuit-level
+    (Section 4.3); the host enforces the same discipline.
+    """
+
+
+class SoftMCHost:
+    """Command-level host interface to one chip under test.
+
+    Parameters
+    ----------
+    chip:
+        Chip plugged into the test infrastructure.
+    temperature:
+        Optional temperature controller (defaults to a 50 C chamber).
+    record_trace:
+        Whether to append every issued command to :attr:`trace`.
+    """
+
+    def __init__(
+        self,
+        chip: DramChip,
+        temperature: Optional[TemperatureController] = None,
+        record_trace: bool = True,
+    ) -> None:
+        self.chip = chip
+        self.temperature = temperature or TemperatureController()
+        self.trace = CommandTrace()
+        self.record_trace = record_trace
+        self._refresh_enabled = True
+        self._open_row: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Trace helpers
+    # ------------------------------------------------------------------
+    def _record(self, command: DramCommand) -> None:
+        if self.record_trace:
+            self.trace.append(command)
+
+    # ------------------------------------------------------------------
+    # Refresh and temperature control
+    # ------------------------------------------------------------------
+    @property
+    def refresh_enabled(self) -> bool:
+        """Whether automatic refresh is currently enabled."""
+        return self._refresh_enabled
+
+    def disable_refresh(self) -> None:
+        """Disable automatic refresh (Algorithm 1, line 9)."""
+        self._refresh_enabled = False
+        self._record(DramCommand(CommandKind.REFRESH_DISABLE))
+
+    def enable_refresh(self) -> None:
+        """Re-enable automatic refresh (Algorithm 1, line 14).
+
+        Re-enabling refresh refreshes the whole chip, restoring every cell's
+        charge so subsequent tests start from a clean state.
+        """
+        self._refresh_enabled = True
+        self.chip.refresh_all()
+        self._record(DramCommand(CommandKind.REFRESH_ENABLE))
+
+    def set_temperature(self, celsius: float) -> float:
+        """Set the chamber temperature and wait for it to stabilize."""
+        self.temperature.set_target(celsius)
+        self._record(DramCommand(CommandKind.SET_TEMPERATURE, payload=celsius))
+        return self.temperature.stabilize()
+
+    # ------------------------------------------------------------------
+    # Row data access
+    # ------------------------------------------------------------------
+    def write_row(self, bank: int, row: int, data: RowData) -> None:
+        """Write a full row (activate, write bursts, precharge)."""
+        self._record(DramCommand(CommandKind.ACT, bank=bank, row=row))
+        self._record(DramCommand(CommandKind.WR, bank=bank, row=row))
+        self._record(DramCommand(CommandKind.PRE, bank=bank, row=row))
+        self.chip.write_row(bank, row, data)
+
+    def read_row(self, bank: int, row: int) -> np.ndarray:
+        """Read a full row back (activate, read bursts, precharge)."""
+        self._record(DramCommand(CommandKind.ACT, bank=bank, row=row))
+        self._record(DramCommand(CommandKind.RD, bank=bank, row=row))
+        self._record(DramCommand(CommandKind.PRE, bank=bank, row=row))
+        return self.chip.read_row(bank, row)
+
+    def refresh_row(self, bank: int, row: int) -> None:
+        """Refresh a single row (Algorithm 1, line 10)."""
+        self._record(DramCommand(CommandKind.REF, bank=bank, row=row))
+        self.chip.refresh_row(bank, row)
+
+    # ------------------------------------------------------------------
+    # Hammering
+    # ------------------------------------------------------------------
+    def activate(self, bank: int, row: int, count: int = 1) -> int:
+        """Issue ``count`` back-to-back activations of one row."""
+        self._record(DramCommand(CommandKind.ACT, bank=bank, row=row, repeat=count))
+        return self.chip.activate(bank, row, count)
+
+    def hammer_pair(self, bank: int, row_a: int, row_b: int, hammer_count: int) -> int:
+        """Run the double-sided core hammer loop (Algorithm 1, lines 11-13).
+
+        Raises :class:`RefreshEnabledError` if refresh has not been disabled
+        first, mirroring the methodological requirement that nothing may
+        interrupt the core loop.
+        """
+        if self._refresh_enabled:
+            raise RefreshEnabledError(
+                "disable refresh before running the core hammer loop"
+            )
+        self._record(
+            DramCommand(CommandKind.ACT, bank=bank, row=row_a, repeat=hammer_count)
+        )
+        self._record(
+            DramCommand(CommandKind.ACT, bank=bank, row=row_b, repeat=hammer_count)
+        )
+        return self.chip.hammer_pair(bank, row_a, row_b, hammer_count)
+
+    # ------------------------------------------------------------------
+    # Timing helpers
+    # ------------------------------------------------------------------
+    def hammer_duration_ms(self, hammer_count: int) -> float:
+        """Wall-clock duration of a double-sided hammer loop on real hardware.
+
+        Used to verify the core loop stays under the 32 ms minimum refresh
+        window so RowHammer flips are not conflated with retention failures.
+        """
+        return 2.0 * hammer_count * self.chip.spec.trc_ns / 1e6
+
+    def fits_in_refresh_window(self, hammer_count: int, window_ms: float = 32.0) -> bool:
+        """Whether a hammer loop of this length fits within a refresh window."""
+        return self.hammer_duration_ms(hammer_count) <= window_ms

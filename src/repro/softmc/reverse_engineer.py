@@ -1,0 +1,125 @@
+"""Reverse engineering of the DRAM-internal row address remapping.
+
+The paper needs to know, for any victim row, which logical row addresses
+activate the physically adjacent wordlines.  It discovers this by hammering
+individual rows and observing which logical rows collect bit flips
+(Section 4.3).  Two behaviours are distinguished:
+
+* the common case, where hammering logical row N produces flips in logical
+  rows N-1 and N+1 (identity-like mapping), and
+* manufacturer B's LPDDR4-1x behaviour, where hammering row N (with N even)
+  produces no flips in N-1/N+1 but near-equal flips in the two preceding
+  and two following rows, indicating that consecutive row pairs share a
+  wordline ("paired" mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.data_patterns import DataPattern, worst_case_pattern
+from repro.dram.chip import DramChip
+from repro.softmc.host import SoftMCHost
+
+
+@dataclass
+class MappingInference:
+    """Outcome of a row-mapping inference run."""
+
+    inferred_mapping: str
+    flips_by_offset: Dict[int, int] = field(default_factory=dict)
+    probe_rows: Tuple[int, ...] = ()
+
+    @property
+    def adjacent_offsets(self) -> List[int]:
+        """Row offsets (from the hammered row) that collected bit flips."""
+        return sorted(offset for offset, count in self.flips_by_offset.items() if count > 0)
+
+
+def _observe_single_row_hammer(
+    host: SoftMCHost,
+    bank: int,
+    hammered_row: int,
+    hammer_count: int,
+    pattern: DataPattern,
+    window: int,
+) -> Dict[int, int]:
+    """Hammer one row and count flips per logical-row offset around it."""
+    chip = host.chip
+    low = max(0, hammered_row - window)
+    high = min(chip.geometry.rows_per_bank - 1, hammered_row + window)
+    written: Dict[int, int] = {}
+    for row in range(low, high + 1):
+        byte = pattern.aggressor_byte if row == hammered_row else pattern.victim_byte
+        host.write_row(bank, row, byte)
+        written[row] = byte
+    host.disable_refresh()
+    host.activate(bank, hammered_row, hammer_count)
+    host.enable_refresh()
+    flips_by_offset: Dict[int, int] = {}
+    for row, byte in written.items():
+        observed = host.read_row(bank, row)
+        expected = np.full(chip.geometry.row_bytes, byte, dtype=np.uint8)
+        flips = int(np.unpackbits(observed ^ expected).sum())
+        if flips:
+            flips_by_offset[row - hammered_row] = flips
+    return flips_by_offset
+
+
+def infer_row_mapping(
+    chip: DramChip,
+    probe_rows: Optional[Sequence[int]] = None,
+    hammer_count: int = 300_000,
+    bank: int = 0,
+    window: int = 4,
+) -> MappingInference:
+    """Infer whether the chip uses an identity-like or paired row mapping.
+
+    Parameters
+    ----------
+    chip:
+        Chip to probe.
+    probe_rows:
+        Rows to hammer individually; defaults to a few even rows near the
+        middle of the bank (the paired mapping is easiest to recognize from
+        an even logical row).
+    hammer_count:
+        Single-sided activation count per probe; the default is high so that
+        even moderately vulnerable chips show flips.
+    window:
+        Number of rows on each side of the probe to observe.
+    """
+    host = SoftMCHost(chip)
+    pattern = worst_case_pattern(chip.profile)
+    if probe_rows is None:
+        middle = chip.geometry.rows_per_bank // 2
+        middle -= middle % 2  # start from an even logical row
+        probe_rows = tuple(middle + 2 * index for index in range(3))
+
+    total_by_offset: Dict[int, int] = {}
+    for row in probe_rows:
+        observed = _observe_single_row_hammer(host, bank, row, hammer_count, pattern, window)
+        for offset, count in observed.items():
+            total_by_offset[offset] = total_by_offset.get(offset, 0) + count
+
+    adjacent = sorted(offset for offset, count in total_by_offset.items() if count > 0)
+    # With an even hammered row, a paired mapping (consecutive logical rows
+    # sharing a wordline) produces flips at offsets {-2, -1, +2, +3} but not
+    # at +1 (the row sharing the hammered wordline); an identity-like mapping
+    # produces flips at both -1 and +1 and never at +3.
+    flips_at_plus_one = 1 in adjacent
+    flips_at_plus_three = 3 in adjacent
+    if flips_at_plus_three and not flips_at_plus_one:
+        inferred = "paired"
+    elif flips_at_plus_one or -1 in adjacent:
+        inferred = "identity"
+    else:
+        inferred = "unknown"
+    return MappingInference(
+        inferred_mapping=inferred,
+        flips_by_offset=total_by_offset,
+        probe_rows=tuple(probe_rows),
+    )

@@ -1,0 +1,126 @@
+"""Algorithm 1 expressed as SoftMC host commands.
+
+:func:`run_characterization_routine` is a faithful, command-level rendering
+of the paper's Algorithm 1 (DRAM RowHammer Characterization): it iterates
+data patterns, victim rows, and hammer counts; disables refresh around the
+core loop; refreshes the victim before hammering; records the observed bit
+flips; and restores flipped rows to their original values.
+
+The higher-level :class:`~repro.core.characterization.RowHammerCharacterizer`
+performs the same procedure directly against the chip model and is what the
+analysis studies use; this module exists to demonstrate and test the
+infrastructure path, including the command stream it produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS
+from repro.softmc.host import SoftMCHost
+
+
+@dataclass(frozen=True)
+class RoutineConfig:
+    """Configuration of one command-level characterization run."""
+
+    data_patterns: Tuple[DataPattern, ...] = STANDARD_PATTERNS
+    hammer_counts: Tuple[int, ...] = (50_000, 150_000)
+    bank: int = 0
+    victim_rows: Optional[Tuple[int, ...]] = None
+    temperature_celsius: float = 50.0
+
+
+@dataclass
+class RoutineObservation:
+    """Bit flips recorded for one (pattern, victim, hammer count) step."""
+
+    data_pattern: str
+    hammer_count: int
+    victim_row: int
+    flipped_bits: Tuple[Tuple[int, int], ...]  # (row, bit index)
+
+
+@dataclass
+class RoutineResult:
+    """All observations of one routine run."""
+
+    chip_id: str
+    observations: List[RoutineObservation] = field(default_factory=list)
+
+    def total_flips(self) -> int:
+        return sum(len(obs.flipped_bits) for obs in self.observations)
+
+
+def _expected_row_bytes(host: SoftMCHost, byte: int) -> np.ndarray:
+    return np.full(host.chip.geometry.row_bytes, byte, dtype=np.uint8)
+
+
+def run_characterization_routine(
+    host: SoftMCHost, config: Optional[RoutineConfig] = None
+) -> RoutineResult:
+    """Run Algorithm 1 against the chip plugged into ``host``."""
+    config = config or RoutineConfig()
+    chip = host.chip
+    result = RoutineResult(chip_id=chip.chip_id)
+    host.set_temperature(config.temperature_celsius)
+
+    victims = config.victim_rows
+    if victims is None:
+        radius = chip.profile.blast_radius + 1
+        if chip.remapper.name == "paired":
+            radius *= 2
+        victims = tuple(range(radius, chip.geometry.rows_per_bank - radius))
+
+    for pattern in config.data_patterns:  # line 2: foreach DP
+        # Line 3: write DP into all cells.  Rows alternate between the
+        # victim byte and the aggressor byte by physical wordline parity.
+        for row in range(chip.geometry.rows_per_bank):
+            wordline = chip.remapper.logical_to_physical(row)
+            byte = pattern.victim_byte if wordline % 2 == 0 else pattern.aggressor_byte
+            host.write_row(config.bank, row, byte)
+
+        for victim in victims:  # line 4: foreach row
+            aggressors = chip.remapper.aggressors_for(victim)
+            aggressors = [
+                row for row in aggressors if 0 <= row < chip.geometry.rows_per_bank
+            ]
+            if len(aggressors) < 2:
+                continue
+            victim_wordline = chip.remapper.logical_to_physical(victim)
+            victim_byte = (
+                pattern.victim_byte if victim_wordline % 2 == 0 else pattern.aggressor_byte
+            )
+            for hammer_count in config.hammer_counts:  # line 8: foreach HC
+                host.disable_refresh()             # line 9
+                host.refresh_row(config.bank, victim)  # line 10
+                host.hammer_pair(                  # lines 11-13 (core loop)
+                    config.bank, aggressors[0], aggressors[-1], hammer_count
+                )
+                host.enable_refresh()              # line 14
+
+                # Line 15: record bit flips (victim row only here; the
+                # neighbourhood-wide analysis lives in repro.core).
+                observed = host.read_row(config.bank, victim)
+                expected = _expected_row_bytes(host, victim_byte)
+                flipped_bits: List[Tuple[int, int]] = []
+                if not np.array_equal(observed, expected):
+                    expected_bits = np.unpackbits(expected)
+                    observed_bits = np.unpackbits(observed)
+                    for bit_index in np.nonzero(expected_bits != observed_bits)[0]:
+                        flipped_bits.append((victim, int(bit_index)))
+                result.observations.append(
+                    RoutineObservation(
+                        data_pattern=pattern.name,
+                        hammer_count=hammer_count,
+                        victim_row=victim,
+                        flipped_bits=tuple(flipped_bits),
+                    )
+                )
+                # Line 16: restore bit flips to their original values.
+                if flipped_bits:
+                    host.write_row(config.bank, victim, victim_byte)
+    return result

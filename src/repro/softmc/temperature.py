@@ -1,0 +1,67 @@
+"""Temperature-controlled chamber model.
+
+The paper performs all characterization at a stable ambient temperature of
+50 degrees Celsius, using rubber heaters with a thermocouple feedback loop
+for the SoftMC setups and a chamber with heating and cooling for LPDDR4.
+The model here tracks a set point and converges the measured temperature
+towards it, exposing the same "wait until stable" workflow the real
+infrastructure needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TemperatureController:
+    """A simple first-order thermal model with a set point.
+
+    Attributes
+    ----------
+    ambient_celsius:
+        Temperature the chamber relaxes towards with the heaters off.
+    set_point_celsius:
+        Target temperature.
+    tolerance_celsius:
+        Band within which the temperature counts as stable.
+    convergence_rate:
+        Fraction of the remaining temperature error removed per step.
+    """
+
+    ambient_celsius: float = 25.0
+    set_point_celsius: float = 50.0
+    tolerance_celsius: float = 0.5
+    convergence_rate: float = 0.5
+    current_celsius: float = 25.0
+
+    def set_target(self, celsius: float) -> None:
+        """Change the set point."""
+        if not -40.0 <= celsius <= 120.0:
+            raise ValueError("set point outside the chamber's supported range")
+        self.set_point_celsius = celsius
+
+    def step(self, steps: int = 1) -> float:
+        """Advance the thermal model and return the new temperature."""
+        for _ in range(steps):
+            error = self.set_point_celsius - self.current_celsius
+            self.current_celsius += self.convergence_rate * error
+        return self.current_celsius
+
+    @property
+    def is_stable(self) -> bool:
+        """Whether the measured temperature is within tolerance of the set point."""
+        return abs(self.current_celsius - self.set_point_celsius) <= self.tolerance_celsius
+
+    def stabilize(self, max_steps: int = 100) -> float:
+        """Run the controller until stable (or the step budget runs out)."""
+        steps = 0
+        while not self.is_stable and steps < max_steps:
+            self.step()
+            steps += 1
+        if not self.is_stable:
+            raise RuntimeError(
+                f"temperature failed to stabilize at {self.set_point_celsius} C "
+                f"within {max_steps} steps"
+            )
+        return self.current_celsius

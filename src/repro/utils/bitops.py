@@ -1,0 +1,65 @@
+"""Bit-level helpers used throughout the DRAM device model and ECC codecs."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+def bytes_to_bits(data: np.ndarray) -> np.ndarray:
+    """Expand a uint8 byte array into a uint8 bit array (MSB first per byte).
+
+    >>> bytes_to_bits(np.array([0b10000001], dtype=np.uint8)).tolist()
+    [1, 0, 0, 0, 0, 0, 0, 1]
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    return np.unpackbits(data)
+
+
+def bits_to_bytes(bits: np.ndarray) -> np.ndarray:
+    """Pack a uint8 bit array (MSB first) back into bytes.
+
+    The bit array length must be a multiple of eight.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size % 8 != 0:
+        raise ValueError(f"bit array length {bits.size} is not a multiple of 8")
+    return np.packbits(bits)
+
+
+def count_set_bits(data: np.ndarray) -> int:
+    """Count the number of set bits in a uint8 byte array."""
+    return int(np.unpackbits(np.asarray(data, dtype=np.uint8)).sum())
+
+
+def flip_bits(data: np.ndarray, bit_indices: Sequence[int]) -> np.ndarray:
+    """Return a copy of ``data`` (bytes) with the given bit indices flipped.
+
+    Bit index ``i`` refers to bit ``7 - (i % 8)`` of byte ``i // 8`` so that
+    the indexing matches :func:`bytes_to_bits`.
+    """
+    bits = bytes_to_bits(data).copy()
+    for index in bit_indices:
+        bits[index] ^= 1
+    return bits_to_bytes(bits)
+
+
+def words_of(bits: np.ndarray, word_bits: int) -> Iterator[np.ndarray]:
+    """Yield successive fixed-width words (as bit arrays) from a bit array.
+
+    A trailing partial word is not yielded.
+    """
+    bits = np.asarray(bits)
+    num_words = bits.size // word_bits
+    for word_index in range(num_words):
+        start = word_index * word_bits
+        yield bits[start : start + word_bits]
+
+
+def xor_reduce(values: Iterable[int]) -> int:
+    """XOR-reduce an iterable of integers (0 for an empty iterable)."""
+    result = 0
+    for value in values:
+        result ^= value
+    return result

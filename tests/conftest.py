@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Chips used in tests are deliberately small so exhaustive studies finish in
+milliseconds; the vulnerability model calibrates itself to the simulated
+cell count, so the behaviour under test is the same as for larger chips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.geometry import ChipGeometry
+from repro.dram.population import make_chip
+from repro.sim.config import SystemConfig
+
+
+@pytest.fixture
+def small_geometry() -> ChipGeometry:
+    """A small chip geometry used throughout the tests."""
+    return ChipGeometry(banks=1, rows_per_bank=48, row_bytes=32)
+
+
+@pytest.fixture
+def ddr4_chip(small_geometry):
+    """A vulnerable DDR4-new chip (no on-die ECC)."""
+    return make_chip("DDR4-new", "A", seed=11, geometry=small_geometry)
+
+
+@pytest.fixture
+def lpddr4_chip(small_geometry):
+    """A vulnerable LPDDR4-1y chip (with on-die ECC)."""
+    return make_chip("LPDDR4-1y", "A", seed=7, geometry=small_geometry)
+
+
+@pytest.fixture
+def paired_chip(small_geometry):
+    """A manufacturer-B LPDDR4-1x chip using the paired-wordline remapping."""
+    return make_chip("LPDDR4-1x", "B", seed=5, geometry=small_geometry)
+
+
+@pytest.fixture
+def robust_chip(small_geometry):
+    """A chip whose weakest cell is far above the test limit."""
+    return make_chip("DDR4-new", "A", seed=3, geometry=small_geometry, hcfirst_target=500_000)
+
+
+@pytest.fixture
+def small_system() -> SystemConfig:
+    """A reduced system configuration for fast simulator tests."""
+    return SystemConfig(cores=2, banks=4, rows_per_bank=256, read_queue_depth=16, write_queue_depth=16)

@@ -1,0 +1,71 @@
+"""Tests for the standard data patterns."""
+
+import pytest
+
+from repro.core.data_patterns import (
+    CHECKERED0,
+    COLSTRIPE0,
+    ROWSTRIPE0,
+    ROWSTRIPE1,
+    SOLID0,
+    STANDARD_PATTERNS,
+    DataPattern,
+    pattern_by_name,
+    worst_case_pattern,
+)
+from repro.dram.vulnerability import profile_for
+
+
+class TestPatternDefinitions:
+    def test_eight_standard_patterns(self):
+        assert len(STANDARD_PATTERNS) == 8
+        assert len({p.name for p in STANDARD_PATTERNS}) == 8
+
+    def test_rowstripe_bytes(self):
+        assert (ROWSTRIPE0.victim_byte, ROWSTRIPE0.aggressor_byte) == (0x00, 0xFF)
+        assert (ROWSTRIPE1.victim_byte, ROWSTRIPE1.aggressor_byte) == (0xFF, 0x00)
+
+    def test_checkered_bytes(self):
+        assert (CHECKERED0.victim_byte, CHECKERED0.aggressor_byte) == (0x55, 0xAA)
+
+    def test_uniform_patterns(self):
+        assert SOLID0.is_uniform
+        assert COLSTRIPE0.is_uniform
+        assert not ROWSTRIPE0.is_uniform
+
+    def test_inverse(self):
+        inverse = ROWSTRIPE0.inverse()
+        assert inverse.victim_byte == 0xFF
+        assert inverse.aggressor_byte == 0x00
+
+    def test_invalid_byte_rejected(self):
+        with pytest.raises(ValueError):
+            DataPattern("bad", "B", 0x100, 0x00)
+
+
+class TestLookup:
+    def test_by_full_name_and_abbreviation(self):
+        assert pattern_by_name("RowStripe1") is ROWSTRIPE1
+        assert pattern_by_name("RS1") is ROWSTRIPE1
+        assert pattern_by_name("CH0") is CHECKERED0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            pattern_by_name("ZigZag7")
+
+
+class TestWorstCasePattern:
+    @pytest.mark.parametrize(
+        "type_node, manufacturer, expected",
+        [
+            ("DDR4-old", "A", "RowStripe1"),
+            ("DDR4-old", "C", "RowStripe0"),
+            ("DDR4-new", "C", "Checkered1"),
+            ("DDR3-new", "C", "Checkered0"),
+            ("LPDDR4-1y", "A", "RowStripe1"),
+            ("LPDDR4-1x", "A", "Checkered1"),
+        ],
+    )
+    def test_matches_table3(self, type_node, manufacturer, expected):
+        profile = profile_for(type_node, manufacturer)
+        assert worst_case_pattern(profile).name == expected

@@ -1,0 +1,57 @@
+"""Tests for the SECDED extended Hamming code."""
+
+import numpy as np
+import pytest
+
+from repro.ecc.secded import SecDedCode
+from repro.utils.rng import make_rng
+
+
+class TestSecDed:
+    def test_codeword_size(self):
+        assert SecDedCode(64).codeword_bits == 72
+
+    def test_clean_round_trip(self):
+        code = SecDedCode(64)
+        data = make_rng(0).integers(0, 2, 64).astype(np.uint8)
+        result = code.decode(code.encode(data))
+        assert np.array_equal(result.data, data)
+        assert not result.corrected
+        assert not result.uncorrectable
+
+    def test_single_error_corrected(self):
+        code = SecDedCode(32)
+        data = make_rng(1).integers(0, 2, 32).astype(np.uint8)
+        codeword = code.encode(data)
+        for position in (0, 5, code.codeword_bits - 2):
+            corrupted = codeword.copy()
+            corrupted[position] ^= 1
+            result = code.decode(corrupted)
+            assert np.array_equal(result.data, data)
+            assert result.corrected
+            assert not result.uncorrectable
+
+    def test_overall_parity_bit_error_corrected(self):
+        code = SecDedCode(32)
+        data = make_rng(2).integers(0, 2, 32).astype(np.uint8)
+        corrupted = code.encode(data)
+        corrupted[-1] ^= 1
+        result = code.decode(corrupted)
+        assert np.array_equal(result.data, data)
+        assert result.corrected
+
+    def test_double_error_detected_not_corrected(self):
+        code = SecDedCode(32)
+        data = make_rng(3).integers(0, 2, 32).astype(np.uint8)
+        codeword = code.encode(data)
+        corrupted = codeword.copy()
+        corrupted[2] ^= 1
+        corrupted[9] ^= 1
+        result = code.decode(corrupted)
+        assert result.uncorrectable
+        assert not result.corrected
+
+    def test_wrong_length_rejected(self):
+        code = SecDedCode(32)
+        with pytest.raises(ValueError):
+            code.decode(np.zeros(10, dtype=np.uint8))

@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.search import minimal_hammer_count
+from repro.dram.geometry import ChipGeometry
+from repro.dram.population import make_chip
+from repro.ecc.hamming import HammingCode
+from repro.ecc.secded import SecDedCode
+from repro.mitigations.base import MitigationConfig
+from repro.mitigations.ideal import IdealRefresh
+from repro.utils.bitops import bits_to_bytes, bytes_to_bits
+from repro.utils.stats import box_stats
+
+GEOMETRY = ChipGeometry(banks=1, rows_per_bank=32, row_bytes=32)
+
+
+class TestBitopsProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64))
+    def test_bytes_bits_round_trip(self, values):
+        data = np.array(values, dtype=np.uint8)
+        assert np.array_equal(bits_to_bytes(bytes_to_bits(data)), data)
+
+
+class TestBoxStatsProperties:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=60))
+    def test_ordering_invariants(self, values):
+        stats = box_stats(values)
+        assert stats.minimum <= stats.first_quartile <= stats.median
+        assert stats.median <= stats.third_quartile <= stats.maximum
+        assert stats.lower_whisker >= stats.minimum
+        assert stats.upper_whisker <= stats.maximum
+        assert stats.count == len(values)
+
+
+class TestHammingProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 1), min_size=32, max_size=32),
+        error_position=st.integers(min_value=0, max_value=37),
+    )
+    def test_single_error_always_corrected(self, data, error_position):
+        code = HammingCode(32)
+        word = np.array(data, dtype=np.uint8)
+        codeword = code.encode(word)
+        corrupted = codeword.copy()
+        corrupted[error_position % code.codeword_bits] ^= 1
+        result = code.decode(corrupted)
+        assert np.array_equal(result.data, word)
+
+    @settings(max_examples=30, deadline=None)
+    @given(data=st.lists(st.integers(0, 1), min_size=16, max_size=16))
+    def test_secded_round_trip(self, data):
+        code = SecDedCode(16)
+        word = np.array(data, dtype=np.uint8)
+        result = code.decode(code.encode(word))
+        assert np.array_equal(result.data, word)
+        assert not result.uncorrectable
+
+
+class TestSearchProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(threshold=st.integers(min_value=1, max_value=150_000))
+    def test_minimal_hammer_count_brackets_threshold(self, threshold):
+        found = minimal_hammer_count(lambda hc: hc >= threshold, hc_max=150_000)
+        assert found is not None
+        assert found >= threshold
+        assert found <= max(threshold + 1, int(threshold * 1.05))
+
+
+class TestChipProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=50),
+        fill=st.integers(min_value=0, max_value=255),
+        row=st.integers(min_value=0, max_value=31),
+    )
+    def test_write_read_round_trip_without_hammering(self, seed, fill, row):
+        chip = make_chip("DDR4-new", "A", seed=seed, geometry=GEOMETRY)
+        chip.write_row(0, row, fill)
+        assert np.all(chip.read_row(0, row) == fill)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_hammering_never_flips_aggressor_rows(self, seed):
+        chip = make_chip("DDR4-new", "A", seed=seed, geometry=GEOMETRY, hcfirst_target=10_000)
+        victim = chip.weakest_cell[1]
+        for offset in range(-3, 4):
+            chip.write_row(0, victim + offset, 0x00 if offset % 2 == 0 else 0xFF)
+        chip.hammer_pair(0, victim - 1, victim + 1, 150_000)
+        assert np.all(chip.read_row(0, victim - 1) == 0xFF)
+        assert np.all(chip.read_row(0, victim + 1) == 0xFF)
+
+
+class TestMitigationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        hcfirst=st.integers(min_value=2, max_value=1_000),
+        activations=st.integers(min_value=0, max_value=3_000),
+    )
+    def test_ideal_mechanism_never_lets_counter_exceed_hcfirst(self, hcfirst, activations):
+        config = MitigationConfig(hcfirst=hcfirst, banks=1, rows_per_bank=64)
+        mechanism = IdealRefresh(config)
+        refreshes = 0
+        for cycle in range(activations):
+            victims = mechanism.on_activate(0, 10, cycle)
+            refreshes += len(victims)
+        # Each victim (rows 9 and 11) must be refreshed exactly
+        # floor(activations / (hcfirst - 1)) times -- never fewer (safety)
+        # and never more (minimality of the ideal mechanism).
+        expected = activations // max(1, hcfirst - 1)
+        assert refreshes == 2 * expected

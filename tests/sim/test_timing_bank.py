@@ -1,0 +1,90 @@
+"""Tests for DRAM timing parameters and the bank/rank state machines."""
+
+import pytest
+
+from repro.sim.bank import BankState, RankState
+from repro.sim.timing import DDR4_2400, DramTimings
+
+
+class TestTimings:
+    def test_ddr4_2400_sanity(self):
+        assert DDR4_2400.trc_ns == pytest.approx(45.8, abs=1.0)
+        assert DDR4_2400.trefi > DDR4_2400.trfc
+        assert DDR4_2400.refreshes_per_window == pytest.approx(8205, abs=50)
+
+    def test_invalid_timings_rejected(self):
+        with pytest.raises(ValueError):
+            DramTimings(trc=10)
+        with pytest.raises(ValueError):
+            DramTimings(trefi=100, trfc=420)
+
+    def test_scaled_refresh(self):
+        scaled = DDR4_2400.scaled_refresh(0.5)
+        assert scaled.trefi == DDR4_2400.trefi // 2
+        assert scaled.refresh_window_ms == pytest.approx(32.0)
+        with pytest.raises(ValueError):
+            DDR4_2400.scaled_refresh(0.0)
+
+    def test_scaled_refresh_clamps_to_trfc(self):
+        scaled = DDR4_2400.scaled_refresh(1e-6)
+        assert scaled.trefi > scaled.trfc
+
+
+class TestBankState:
+    def test_activate_then_access_then_precharge_timing(self):
+        bank = BankState(DDR4_2400)
+        assert bank.can_activate(0)
+        bank.activate(0, row=7)
+        assert bank.open_row == 7
+        assert not bank.can_column_access(0, is_write=False)
+        assert bank.can_column_access(DDR4_2400.trcd, is_write=False)
+        assert not bank.can_precharge(DDR4_2400.trcd)
+        assert bank.can_precharge(DDR4_2400.tras)
+        bank.precharge(DDR4_2400.tras)
+        assert bank.open_row is None
+        assert not bank.can_activate(DDR4_2400.tras + 1)
+        assert bank.can_activate(DDR4_2400.trc)
+
+    def test_cannot_activate_open_bank(self):
+        bank = BankState(DDR4_2400)
+        bank.activate(0, row=3)
+        assert not bank.can_activate(DDR4_2400.trc + 10)
+
+    def test_column_access_returns_data_completion(self):
+        bank = BankState(DDR4_2400)
+        bank.activate(0, 1)
+        done = bank.column_access(DDR4_2400.trcd, is_write=False)
+        assert done == DDR4_2400.trcd + DDR4_2400.tcl + DDR4_2400.burst_cycles
+
+    def test_block_until_closes_row(self):
+        bank = BankState(DDR4_2400)
+        bank.activate(0, 1)
+        bank.block_until(500)
+        assert bank.open_row is None
+        assert not bank.can_activate(499)
+        assert bank.can_activate(500)
+
+
+class TestRankState:
+    def test_tfaw_limits_to_four_activates(self):
+        rank = RankState(DDR4_2400)
+        cycle = 0
+        for _ in range(4):
+            assert rank.can_activate(cycle)
+            rank.record_activate(cycle)
+            cycle += DDR4_2400.trrd_l
+        assert not rank.can_activate(cycle)
+        assert rank.can_activate(DDR4_2400.tfaw + 1)
+
+    def test_trrd_spacing(self):
+        rank = RankState(DDR4_2400)
+        rank.record_activate(0)
+        assert not rank.can_activate(DDR4_2400.trrd_l - 1)
+        assert rank.can_activate(DDR4_2400.trrd_l)
+
+    def test_data_bus_occupancy(self):
+        rank = RankState(DDR4_2400)
+        assert rank.can_use_data_bus(0)
+        rank.occupy_data_bus(0)
+        assert not rank.can_use_data_bus(1)
+        assert rank.can_use_data_bus(DDR4_2400.burst_cycles)

@@ -1,0 +1,74 @@
+"""Tests for bit-level helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitops import (
+    bits_to_bytes,
+    bytes_to_bits,
+    count_set_bits,
+    flip_bits,
+    words_of,
+    xor_reduce,
+)
+
+
+class TestBytesBitsRoundTrip:
+    def test_msb_first(self):
+        bits = bytes_to_bits(np.array([0b10000001], dtype=np.uint8))
+        assert bits.tolist() == [1, 0, 0, 0, 0, 0, 0, 1]
+
+    def test_round_trip(self):
+        data = np.arange(64, dtype=np.uint8)
+        assert np.array_equal(bits_to_bytes(bytes_to_bits(data)), data)
+
+    def test_bits_to_bytes_rejects_partial_byte(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.ones(7, dtype=np.uint8))
+
+
+class TestCountSetBits:
+    def test_zero(self):
+        assert count_set_bits(np.zeros(16, dtype=np.uint8)) == 0
+
+    def test_all_ones(self):
+        assert count_set_bits(np.full(4, 0xFF, dtype=np.uint8)) == 32
+
+    def test_mixed(self):
+        assert count_set_bits(np.array([0x0F, 0xF0], dtype=np.uint8)) == 8
+
+
+class TestFlipBits:
+    def test_flips_selected_bits(self):
+        data = np.zeros(2, dtype=np.uint8)
+        flipped = flip_bits(data, [0, 15])
+        assert flipped.tolist() == [0b10000000, 0b00000001]
+
+    def test_double_flip_restores(self):
+        data = np.array([0xAB], dtype=np.uint8)
+        assert np.array_equal(flip_bits(flip_bits(data, [3]), [3]), data)
+
+    def test_original_not_modified(self):
+        data = np.zeros(1, dtype=np.uint8)
+        flip_bits(data, [0])
+        assert data[0] == 0
+
+
+class TestWordsOf:
+    def test_splits_into_words(self):
+        bits = np.arange(16) % 2
+        words = list(words_of(bits, 4))
+        assert len(words) == 4
+        assert all(word.size == 4 for word in words)
+
+    def test_drops_trailing_partial_word(self):
+        words = list(words_of(np.zeros(10, dtype=np.uint8), 4))
+        assert len(words) == 2
+
+
+class TestXorReduce:
+    def test_empty(self):
+        assert xor_reduce([]) == 0
+
+    def test_values(self):
+        assert xor_reduce([0b1100, 0b1010]) == 0b0110
