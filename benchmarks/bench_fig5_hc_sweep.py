@@ -8,18 +8,21 @@ from conftest import print_banner
 
 from repro.analysis.figures import build_figure5_hc_sweep
 from repro.analysis.report import format_table
-from repro.core.sweeps import hammer_count_sweep, loglog_slope
+from repro.core.sweeps import SweepStudyConfig, loglog_slope
 
 HAMMER_COUNTS = (15_000, 25_000, 40_000, 65_000, 100_000, 150_000)
 
 
-def test_fig5_hammer_count_sweep(benchmark, representative_chips):
+def test_fig5_hammer_count_sweep(benchmark, bench_session, representative_chips):
     chips = {
         key: chip for key, chip in representative_chips.items() if chip.is_rowhammerable()
     }
+    config = SweepStudyConfig(hammer_counts=HAMMER_COUNTS)
 
     def run():
-        return [hammer_count_sweep(chip, hammer_counts=HAMMER_COUNTS) for chip in chips.values()]
+        return bench_session.run(
+            "fig5-hc-sweep", config, chips=list(chips.values())
+        ).payloads()
 
     sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
     figure5 = build_figure5_hc_sweep(sweeps)

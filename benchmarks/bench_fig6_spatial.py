@@ -8,8 +8,7 @@ from conftest import print_banner
 
 from repro.analysis.figures import build_figure6_spatial
 from repro.analysis.report import format_table
-from repro.core.calibration import hammer_count_for_flip_rate
-from repro.core.spatial import flips_in_aggressor_rows, spatial_distribution
+from repro.core.spatial import SpatialStudyConfig, flips_in_aggressor_rows
 
 #: Flip rate the chips are normalized to.  The paper uses 1e-6 on real chips;
 #: the simulated chips are ~1e5x smaller, so an equivalently "sparse" rate is
@@ -17,17 +16,16 @@ from repro.core.spatial import flips_in_aggressor_rows, spatial_distribution
 TARGET_RATE = 5e-3
 
 
-def test_fig6_spatial_distribution(benchmark, representative_chips):
+def test_fig6_spatial_distribution(benchmark, bench_session, representative_chips):
     chips = {
         key: chip for key, chip in representative_chips.items() if chip.is_rowhammerable()
     }
+    # target_rate makes the study itself calibrate a chip-specific hammer
+    # count (falling back to the 150k ceiling when the rate is unreachable).
+    config = SpatialStudyConfig(target_rate=TARGET_RATE)
 
     def run():
-        results = []
-        for chip in chips.values():
-            hammer_count = hammer_count_for_flip_rate(chip, target_rate=TARGET_RATE)
-            results.append(spatial_distribution(chip, hammer_count=hammer_count or 150_000))
-        return results
+        return bench_session.run("fig6-spatial", config, chips=list(chips.values())).payloads()
 
     spatial_results = benchmark.pedantic(run, rounds=1, iterations=1)
     figure6 = build_figure6_spatial(spatial_results)

@@ -9,23 +9,21 @@ from conftest import print_banner
 
 from repro.analysis.figures import build_figure7_word_density
 from repro.analysis.report import format_table
-from repro.core.calibration import hammer_count_for_flip_rate
-from repro.core.word_density import single_flip_fraction, word_density
+from repro.core.word_density import WordDensityStudyConfig, single_flip_fraction
 
 TARGET_RATE = 5e-3
 
 
-def test_fig7_flips_per_word(benchmark, representative_chips):
+def test_fig7_flips_per_word(benchmark, bench_session, representative_chips):
     chips = {
         key: chip for key, chip in representative_chips.items() if chip.is_rowhammerable()
     }
+    config = WordDensityStudyConfig(target_rate=TARGET_RATE)
 
     def run():
-        results = []
-        for chip in chips.values():
-            hammer_count = hammer_count_for_flip_rate(chip, target_rate=TARGET_RATE)
-            results.append(word_density(chip, hammer_count=hammer_count or 150_000))
-        return results
+        return bench_session.run(
+            "fig7-word-density", config, chips=list(chips.values())
+        ).payloads()
 
     density_results = benchmark.pedantic(run, rounds=1, iterations=1)
     figure7 = build_figure7_word_density(density_results)

@@ -9,15 +9,11 @@ from conftest import print_banner
 from repro.analysis.figures import build_figure8_hcfirst_distribution
 from repro.analysis.report import format_table
 from repro.analysis.tables import PAPER_TABLE4_MIN_HCFIRST_K, build_table4_min_hcfirst
-from repro.core.first_flip import population_hcfirst
 
 
-def test_fig8_table4_hcfirst(benchmark, bench_population):
+def test_fig8_table4_hcfirst(benchmark, bench_session):
     def run():
-        results = []
-        for chips in bench_population.values():
-            results.extend(population_hcfirst(chips))
-        return results
+        return bench_session.run("fig8-hcfirst").payloads()
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     table4 = build_table4_min_hcfirst(results)

@@ -4,14 +4,18 @@ Every benchmark regenerates one table or figure of the paper.  The simulated
 chips are far smaller than real devices so the harnesses finish in seconds;
 EXPERIMENTS.md records how each regenerated artefact compares with the paper.
 
-The population fixtures are session-scoped so benchmarks that share a chip
-population (for example Table 4 and Figure 8) reuse the same chips.
+The harnesses share one session-scoped :class:`repro.ExperimentSession` over
+the Table 1 benchmark population, backed by a :class:`repro.ResultStore`:
+benchmarks that run the same study on overlapping chip sets (for example
+Figure 8 / Table 4 over all chips and Table 2 over the DDR3 subset) replay
+each other's cached results instead of recomputing them.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro import ExperimentSession, ResultStore
 from repro.dram.geometry import ChipGeometry
 from repro.dram.population import make_population
 from repro.dram.vulnerability import available_configurations
@@ -25,13 +29,33 @@ BENCH_GEOMETRY = ChipGeometry(banks=1, rows_per_bank=48, row_bytes=32)
 #: variation.
 CHIPS_PER_CONFIG = 3
 
+#: Seed of the benchmark population and session.
+BENCH_SEED = 2024
+
 
 @pytest.fixture(scope="session")
 def bench_population():
     """One small chip population covering every configuration in Table 1."""
     return make_population(
-        chips_per_config=CHIPS_PER_CONFIG, seed=2024, geometry=BENCH_GEOMETRY
+        chips_per_config=CHIPS_PER_CONFIG, seed=BENCH_SEED, geometry=BENCH_GEOMETRY
     )
+
+
+@pytest.fixture(scope="session")
+def bench_store(tmp_path_factory):
+    """Result cache shared by every benchmark of one pytest session."""
+    return ResultStore(tmp_path_factory.mktemp("result-store"))
+
+
+@pytest.fixture(scope="session")
+def bench_session(bench_population, bench_store):
+    """One ExperimentSession over the benchmark population.
+
+    Studies run through this session are cached in ``bench_store``, so
+    benchmarks sharing a (study, config, chip) triple -- Table 4 + Figure 8
+    versus Table 2 -- do the hammering only once.
+    """
+    return ExperimentSession(bench_population, store=bench_store, seed=BENCH_SEED)
 
 
 @pytest.fixture(scope="session")

@@ -5,17 +5,18 @@ This example walks through the core workflow of the library:
 
 1. build a chip of a given DRAM type-node configuration and manufacturer,
 2. run a worst-case double-sided hammer against one victim row,
-3. search for the chip's ``HC_first`` (the minimum hammer count that causes
-   the first bit flip -- the paper's headline vulnerability metric), and
-4. compare chips across technology generations (Observation 10).
+3. search for the chip's ``HC_first`` through the session API (the minimum
+   hammer count that causes the first bit flip -- the paper's headline
+   vulnerability metric), and
+4. compare chips across technology generations (Observation 10) by fanning
+   the same registered study over a small population.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import DoubleSidedHammer, make_chip, profile_for
-from repro.core.first_flip import find_hcfirst
+from repro import DoubleSidedHammer, ExperimentSession, make_chip, profile_for
 from repro.dram.geometry import ChipGeometry
 
 # A small simulated chip: the vulnerability model calibrates itself to the
@@ -45,22 +46,32 @@ def main() -> None:
             f"bit {flip.bit_index}: {flip.expected_bit} -> {flip.observed_bit}"
         )
 
-    # 3. Find HC_first: the minimum hammer count causing the first bit flip.
-    hcfirst = find_hcfirst(chip)
+    # 3. Find HC_first through the session API: every paper analysis is a
+    #    registered study a session can run over any chip population.
+    session = ExperimentSession(chip, seed=1)
+    hcfirst = session.run("fig8-hcfirst").single()
     print(f"\nHC_first search: {hcfirst.hcfirst} hammers (victim row {hcfirst.victim_row})")
 
     # 4. Compare technology generations of the same manufacturer, using for
     #    each generation a chip as vulnerable as the weakest chip the paper
-    #    found in that configuration (Table 4).
-    print("\nHC_first across generations (manufacturer A, weakest chip per generation):")
-    for type_node in ("DDR4-old", "DDR4-new", "LPDDR4-1x", "LPDDR4-1y"):
-        profile = profile_for(type_node, "A")
-        generation_chip = make_chip(
-            type_node, "A", seed=7, geometry=GEOMETRY, hcfirst_target=profile.hcfirst_min
+    #    found in that configuration (Table 4).  One session call fans the
+    #    study over the whole generation population.
+    generation_chips = [
+        make_chip(
+            type_node,
+            "A",
+            seed=7,
+            geometry=GEOMETRY,
+            hcfirst_target=profile_for(type_node, "A").hcfirst_min,
         )
-        generation_result = find_hcfirst(generation_chip)
+        for type_node in ("DDR4-old", "DDR4-new", "LPDDR4-1x", "LPDDR4-1y")
+    ]
+    generations = ExperimentSession(generation_chips, seed=7)
+    print("\nHC_first across generations (manufacturer A, weakest chip per generation):")
+    for generation_result in generations.run("fig8-hcfirst").payloads():
+        profile = profile_for(generation_result.type_node, "A")
         print(
-            f"  {type_node:10s}: HC_first = {generation_result.hcfirst}"
+            f"  {generation_result.type_node:10s}: HC_first = {generation_result.hcfirst}"
             f"  (paper: {profile.hcfirst_min_k}k)"
         )
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""The ``repro.experiments`` session API end to end.
+
+This example shows the four moves the orchestration layer is built around:
+
+1. **register** -- define a new study as a config dataclass plus a
+   ``run(chip, config)`` function; one decorator makes it a first-class
+   citizen next to the paper's built-in studies,
+2. **session** -- build an :class:`repro.ExperimentSession` over a chip
+   population and fan the study out across it,
+3. **parallel** -- swap in a :class:`repro.ParallelExecutor` and get
+   bit-identical results from a process pool, and
+4. **cached rerun** -- attach a :class:`repro.ResultStore` and watch the
+   second run replay from disk without a single chip activation.
+
+Run with::
+
+    python examples/session_api.py
+"""
+
+import tempfile
+from dataclasses import dataclass
+
+from repro import (
+    DoubleSidedHammer,
+    ExperimentSession,
+    ParallelExecutor,
+    ResultStore,
+    list_studies,
+    register_study,
+)
+from repro.dram.geometry import ChipGeometry
+from repro.dram.population import make_population
+
+GEOMETRY = ChipGeometry(banks=1, rows_per_bank=48, row_bytes=32)
+
+
+# ----------------------------------------------------------------------
+# 1. Register a custom study: victim-row flip count at one hammer count.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class VictimFlipConfig:
+    """Parameters of the demo study."""
+
+    hammer_count: int = 100_000
+    victim_row: int = GEOMETRY.rows_per_bank // 2
+
+
+@register_study("demo-victim-flips", config=VictimFlipConfig)
+def run_victim_flips(chip, config):
+    """Bit flips observed in one victim's neighbourhood at a fixed HC."""
+    hammer = DoubleSidedHammer(chip)
+    result = hammer.hammer_victim(
+        bank=0, victim_row=config.victim_row, hammer_count=config.hammer_count
+    )
+    return {"chip": chip.chip_id, "flips": result.num_bit_flips}
+
+
+def main() -> None:
+    print("registered studies:")
+    for name in list_studies():
+        print(f"  {name}")
+
+    # ------------------------------------------------------------------
+    # 2. Build a session over a small two-configuration population.
+    # ------------------------------------------------------------------
+    population = make_population(
+        chips_per_config=4,
+        seed=42,
+        geometry=GEOMETRY,
+        configurations=[("DDR4-new", "A"), ("LPDDR4-1y", "A")],
+    )
+    session = ExperimentSession(population, seed=42)
+    outcome = session.run("demo-victim-flips")
+    print(f"\nserial run over {len(session.chips)} chips:")
+    for payload in outcome.payloads():
+        print(f"  {payload['chip']}: {payload['flips']} flips")
+
+    # ------------------------------------------------------------------
+    # 3. Same study through a process pool: bit-identical results.
+    # ------------------------------------------------------------------
+    parallel = ExperimentSession(population, executor=ParallelExecutor(), seed=42)
+    parallel_outcome = parallel.run("demo-victim-flips")
+    assert parallel_outcome.payloads() == outcome.payloads()
+    print("\nparallel run matches the serial run bit for bit")
+
+    # ------------------------------------------------------------------
+    # 4. Cached rerun: a stored result replays without touching the chip.
+    # ------------------------------------------------------------------
+    store = ResultStore(tempfile.mkdtemp(prefix="repro-store-"))
+    cached_session = ExperimentSession(population, store=store, seed=42)
+    first = cached_session.run("demo-victim-flips")
+    for chip in cached_session.chips:
+        chip.stats.reset()
+    second = cached_session.run("demo-victim-flips")
+    activations = sum(chip.stats.activations for chip in cached_session.chips)
+    print(
+        f"\ncached rerun: {second.cache_hits}/{len(second.results)} results from the store, "
+        f"{activations} chip activations performed"
+    )
+    assert second.cache_hits == len(session.chips)
+    assert activations == 0
+    assert second.payloads() == first.payloads()
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ from repro.analysis.figures import (
     build_figure9_ecc,
 )
 from repro.analysis.mitigation_study import (
+    MitigationStudyConfig,
     MitigationStudyPoint,
     MitigationStudyResult,
     run_mitigation_study,
@@ -40,6 +41,7 @@ __all__ = [
     "build_figure7_word_density",
     "build_figure8_hcfirst_distribution",
     "build_figure9_ecc",
+    "MitigationStudyConfig",
     "MitigationStudyPoint",
     "MitigationStudyResult",
     "run_mitigation_study",

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.experiments.study import register_study
 from repro.mitigations.base import MitigationConfig
 from repro.mitigations.registry import build_mechanism, is_evaluable
 from repro.sim.config import SystemConfig
@@ -109,6 +110,57 @@ class MitigationStudyResult:
             if point.mechanism == mechanism and point.hcfirst == hcfirst:
                 return point.normalized_performance_avg
         return None
+
+
+@dataclass(frozen=True)
+class MitigationStudyConfig:
+    """Parameters of the registered Figure 10 mitigation study.
+
+    A hashable mirror of :func:`run_mitigation_study`'s arguments: the
+    simulated system and workload mixes are described by value
+    (``rows_per_bank``, ``num_mixes``) rather than passed as objects so the
+    config can key the result cache.
+    """
+
+    hcfirst_values: Tuple[int, ...] = DEFAULT_HCFIRST_SWEEP
+    mechanisms: Tuple[str, ...] = DEFAULT_MECHANISMS
+    num_mixes: int = 4
+    rows_per_bank: int = 4096
+    dram_cycles: int = 20_000
+    requests_per_core: int = 4_000
+    seed: int = 0
+    respect_design_constraints: bool = True
+    time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.hcfirst_values or any(hc <= 0 for hc in self.hcfirst_values):
+            raise ValueError("hcfirst_values must hold positive values")
+        if not self.mechanisms:
+            raise ValueError("at least one mechanism is required")
+        if self.num_mixes < 1:
+            raise ValueError("num_mixes must be at least 1")
+
+
+@register_study("fig10-mitigations", config=MitigationStudyConfig, requires_chip=False)
+def run_mitigation_study_for_config(
+    _chip: None, config: MitigationStudyConfig
+) -> "MitigationStudyResult":
+    """Mitigation overhead versus HC_first (Figure 10), population-level."""
+    system_config = SystemConfig(rows_per_bank=config.rows_per_bank)
+    mixes = make_workload_mixes(
+        num_mixes=config.num_mixes, cores=system_config.cores, seed=config.seed
+    )
+    return run_mitigation_study(
+        system_config=system_config,
+        workload_mixes=mixes,
+        hcfirst_values=config.hcfirst_values,
+        mechanisms=config.mechanisms,
+        dram_cycles=config.dram_cycles,
+        requests_per_core=config.requests_per_core,
+        seed=config.seed,
+        respect_design_constraints=config.respect_design_constraints,
+        time_scale=config.time_scale,
+    )
 
 
 def run_mitigation_study(

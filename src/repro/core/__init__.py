@@ -13,12 +13,26 @@ Modules map to the paper's experimental sections:
 * :mod:`repro.core.ecc_analysis` -- ``HC_first/second/third`` (Figure 9).
 * :mod:`repro.core.probability` -- single-cell flip probability (Table 5).
 * :mod:`repro.core.scaling` -- projection of ``HC_first`` for future nodes.
+
+Each study module registers itself with the :mod:`repro.experiments`
+registry (``fig4-coverage``, ``fig5-hc-sweep``, ``fig6-spatial``,
+``fig7-word-density``, ``fig8-hcfirst``, ``fig9-ecc-words``,
+``table5-flip-probability``, ``alg1-characterization``) so a whole
+population can be driven through one
+:class:`~repro.experiments.session.ExperimentSession`; the free functions
+remain as thin compatibility wrappers.
 """
 
 from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS, pattern_by_name
 from repro.core.hammer import BitFlip, DoubleSidedHammer, HammerResult
 from repro.core.characterization import RowHammerCharacterizer, CharacterizationConfig
-from repro.core.first_flip import HCFirstResult, find_hcfirst
+from repro.core.coverage import CoverageStudyConfig, pattern_coverage
+from repro.core.sweeps import SweepStudyConfig, hammer_count_sweep
+from repro.core.spatial import SpatialStudyConfig, spatial_distribution
+from repro.core.word_density import WordDensityStudyConfig, word_density
+from repro.core.first_flip import HCFirstResult, HCFirstStudyConfig, find_hcfirst
+from repro.core.ecc_analysis import EccWordStudyConfig, ecc_word_analysis
+from repro.core.probability import ProbabilityStudyConfig, flip_probability_study
 from repro.core.results import ChipSummary
 
 __all__ = [
@@ -30,7 +44,20 @@ __all__ = [
     "HammerResult",
     "RowHammerCharacterizer",
     "CharacterizationConfig",
+    "CoverageStudyConfig",
+    "pattern_coverage",
+    "SweepStudyConfig",
+    "hammer_count_sweep",
+    "SpatialStudyConfig",
+    "spatial_distribution",
+    "WordDensityStudyConfig",
+    "word_density",
     "HCFirstResult",
+    "HCFirstStudyConfig",
     "find_hcfirst",
+    "EccWordStudyConfig",
+    "ecc_word_analysis",
+    "ProbabilityStudyConfig",
+    "flip_probability_study",
     "ChipSummary",
 ]

@@ -37,6 +37,36 @@ def measure_flip_rate(
     return flips / characterizer.cells_tested(victims)
 
 
+def resolve_hammer_count(
+    chip: DramChip,
+    hammer_count: Optional[int],
+    target_rate: Optional[float],
+    data_pattern: Optional[DataPattern] = None,
+    bank: int = 0,
+    victims: Optional[Sequence[int]] = None,
+) -> int:
+    """Hammer count for a (possibly rate-normalized) per-chip study.
+
+    This is the shared normalization policy of the Figure 6 / Figure 7
+    studies: calibrate a chip-specific hammer count when ``target_rate`` is
+    set, otherwise use the explicit ``hammer_count``, otherwise fall back
+    to the 150k test ceiling (also used when the rate is unreachable).
+    """
+    if target_rate is not None:
+        calibrated = hammer_count_for_flip_rate(
+            chip,
+            target_rate=target_rate,
+            data_pattern=data_pattern,
+            bank=bank,
+            victims=victims,
+        )
+        if calibrated is not None:
+            return calibrated
+    if hammer_count is not None:
+        return hammer_count
+    return DramChip.TEST_LIMIT_HC
+
+
 def hammer_count_for_flip_rate(
     chip: DramChip,
     target_rate: float,

@@ -15,6 +15,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS, worst_case_pattern
 from repro.core.hammer import BitFlip, DoubleSidedHammer, HammerResult
 from repro.dram.chip import DramChip
+from repro.experiments.study import register_study
 
 
 @dataclass(frozen=True)
@@ -113,6 +114,14 @@ class CharacterizationResult:
         return sum(
             len(record.flips) for record in self.records_for(data_pattern, hammer_count)
         )
+
+
+@register_study("alg1-characterization", config=CharacterizationConfig)
+def run_characterization(
+    chip: DramChip, config: CharacterizationConfig
+) -> "CharacterizationResult":
+    """Algorithm 1: the full characterization loop over one chip."""
+    return RowHammerCharacterizer(chip).run(config)
 
 
 class RowHammerCharacterizer:

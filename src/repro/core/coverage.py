@@ -8,12 +8,50 @@ that the pattern finds on its own.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 from repro.core.characterization import RowHammerCharacterizer
-from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS
+from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS, pattern_by_name
 from repro.core.results import CoverageResult
 from repro.dram.chip import DramChip
+from repro.experiments.study import register_study
+
+
+@dataclass(frozen=True)
+class CoverageStudyConfig:
+    """Parameters of the Figure 4 / Table 3 data-pattern coverage study.
+
+    ``patterns`` holds standard-pattern names; the default is the paper's
+    eight patterns in plotting order.
+    """
+
+    hammer_count: int = DramChip.TEST_LIMIT_HC
+    patterns: Tuple[str, ...] = tuple(p.name for p in STANDARD_PATTERNS)
+    iterations: int = 1
+    bank: int = 0
+    victims: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.hammer_count <= 0:
+            raise ValueError("hammer_count must be positive")
+        if self.iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        if not self.patterns:
+            raise ValueError("at least one data pattern is required")
+
+
+@register_study("fig4-coverage", config=CoverageStudyConfig)
+def run_pattern_coverage(chip: DramChip, config: CoverageStudyConfig) -> CoverageResult:
+    """Per-data-pattern bit-flip coverage (Figure 4 / Table 3)."""
+    return pattern_coverage(
+        chip,
+        hammer_count=config.hammer_count,
+        patterns=tuple(pattern_by_name(name) for name in config.patterns),
+        iterations=config.iterations,
+        bank=config.bank,
+        victims=config.victims,
+    )
 
 
 def pattern_coverage(

@@ -104,6 +104,14 @@ def pattern_by_name(name: str) -> DataPattern:
         ) from None
 
 
+#: Worst-case pattern per coupling-class mix.  Every study that defaults its
+#: data pattern calls :func:`worst_case_pattern` once per hammered victim;
+#: caching by the coupling classes (the only profile state the coverage
+#: evaluation reads, and a hashable tuple of frozen dataclasses) turns the
+#: per-victim recomputation in sweeps into a dictionary lookup.
+_WORST_CASE_CACHE: Dict[tuple, DataPattern] = {}
+
+
 def worst_case_pattern(profile: VulnerabilityProfile) -> DataPattern:
     """The standard pattern expected to expose the most flips for a profile.
 
@@ -111,7 +119,12 @@ def worst_case_pattern(profile: VulnerabilityProfile) -> DataPattern:
     (Section 5.2); this helper evaluates the profile's coupling-class mix
     against every standard pattern and returns the most effective one.
     """
-    return max(
-        STANDARD_PATTERNS,
-        key=lambda dp: profile.coverage_for_bytes(dp.victim_byte, dp.aggressor_byte),
-    )
+    key = profile.coupling_classes
+    cached = _WORST_CASE_CACHE.get(key)
+    if cached is None:
+        cached = max(
+            STANDARD_PATTERNS,
+            key=lambda dp: profile.coverage_for_bytes(dp.victim_byte, dp.aggressor_byte),
+        )
+        _WORST_CASE_CACHE[key] = cached
+    return cached

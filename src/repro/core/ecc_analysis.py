@@ -15,24 +15,68 @@ capability buys (Observations 12-13).
 
 from __future__ import annotations
 
+from collections import Counter
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.characterization import RowHammerCharacterizer
-from repro.core.data_patterns import DataPattern, worst_case_pattern
+from repro.core.data_patterns import DataPattern, pattern_by_name, worst_case_pattern
 from repro.core.results import EccWordAnalysis
 from repro.core.search import descend_and_search
 from repro.dram.chip import DramChip
+from repro.experiments.study import register_study
 from repro.utils.stats import mean, stddev
 
 
 def _max_flips_in_any_word(outcomes, word_bits: int) -> int:
     """Largest number of flips observed in any single word across outcomes."""
-    counts: Dict[Tuple[int, int, int], int] = {}
-    for outcome in outcomes:
-        for flip in outcome.flips:
-            key = (flip.bank, flip.row, flip.bit_index // word_bits)
-            counts[key] = counts.get(key, 0) + 1
+    counts = Counter(
+        (flip.bank, flip.row, flip.bit_index // word_bits)
+        for outcome in outcomes
+        for flip in outcome.flips
+    )
     return max(counts.values()) if counts else 0
+
+
+@dataclass(frozen=True)
+class EccWordStudyConfig:
+    """Parameters of the Figure 9 ECC-strength analysis."""
+
+    word_bits: int = 64
+    flips_per_word: Tuple[int, ...] = (1, 2, 3)
+    hammer_limit: int = 300_000
+    data_pattern: Optional[str] = None
+    bank: int = 0
+    victims: Optional[Tuple[int, ...]] = None
+    relative_precision: float = 0.03
+    max_candidates: int = 8
+
+    def __post_init__(self) -> None:
+        if self.word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+        if self.hammer_limit <= 0:
+            raise ValueError("hammer_limit must be positive")
+        if not self.flips_per_word or any(n < 1 for n in self.flips_per_word):
+            raise ValueError("flips_per_word must hold positive counts")
+
+
+@register_study("fig9-ecc-words", config=EccWordStudyConfig)
+def run_ecc_word_analysis(chip: DramChip, config: EccWordStudyConfig) -> EccWordAnalysis:
+    """Hammer count to land 1, 2 and 3 flips in one word (Figure 9)."""
+    data_pattern = (
+        pattern_by_name(config.data_pattern) if config.data_pattern is not None else None
+    )
+    return ecc_word_analysis(
+        chip,
+        word_bits=config.word_bits,
+        flips_per_word=config.flips_per_word,
+        hammer_limit=config.hammer_limit,
+        data_pattern=data_pattern,
+        bank=config.bank,
+        victims=config.victims,
+        relative_precision=config.relative_precision,
+        max_candidates=config.max_candidates,
+    )
 
 
 def ecc_word_analysis(

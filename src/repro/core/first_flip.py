@@ -18,10 +18,31 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.characterization import RowHammerCharacterizer
-from repro.core.data_patterns import DataPattern, worst_case_pattern
+from repro.core.data_patterns import DataPattern, pattern_by_name, worst_case_pattern
 from repro.core.hammer import DoubleSidedHammer
 from repro.core.search import descend_and_search
 from repro.dram.chip import DramChip
+from repro.experiments.study import register_study
+
+
+@dataclass(frozen=True)
+class HCFirstStudyConfig:
+    """Parameters of the ``HC_first`` search (Figure 8 / Tables 2 and 4)."""
+
+    hammer_limit: int = DramChip.TEST_LIMIT_HC
+    data_pattern: Optional[str] = None
+    bank: int = 0
+    victims: Optional[Tuple[int, ...]] = None
+    relative_precision: float = 0.02
+    max_candidates: int = 16
+
+    def __post_init__(self) -> None:
+        if self.hammer_limit <= 0:
+            raise ValueError("hammer_limit must be positive")
+        if not 0 < self.relative_precision < 1:
+            raise ValueError("relative_precision must be within (0, 1)")
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates must be at least 1")
 
 
 @dataclass
@@ -54,6 +75,23 @@ class HCFirstResult:
             "rowhammerable": self.rowhammerable,
             "candidates_examined": self.candidates_examined,
         }
+
+
+@register_study("fig8-hcfirst", config=HCFirstStudyConfig)
+def run_hcfirst_search(chip: DramChip, config: HCFirstStudyConfig) -> HCFirstResult:
+    """Minimum hammer count causing the first bit flip (Figure 8 / Table 4)."""
+    data_pattern = (
+        pattern_by_name(config.data_pattern) if config.data_pattern is not None else None
+    )
+    return find_hcfirst(
+        chip,
+        hammer_limit=config.hammer_limit,
+        data_pattern=data_pattern,
+        bank=config.bank,
+        victims=config.victims,
+        relative_precision=config.relative_precision,
+        max_candidates=config.max_candidates,
+    )
 
 
 def find_hcfirst(

@@ -9,6 +9,7 @@ neighbourhood back to record bit flips.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -79,11 +80,7 @@ class HammerResult:
 
     def flips_per_word64(self) -> Dict[Tuple[int, int, int], int]:
         """Number of flips per 64-bit word, keyed by (bank, row, word index)."""
-        counts: Dict[Tuple[int, int, int], int] = {}
-        for flip in self.flips:
-            key = (flip.bank, flip.row, flip.word64_index)
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        return Counter((flip.bank, flip.row, flip.word64_index) for flip in self.flips)
 
 
 class DoubleSidedHammer:

@@ -12,15 +12,52 @@ the same ECC word start failing.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.characterization import RowHammerCharacterizer
-from repro.core.data_patterns import DataPattern, worst_case_pattern
+from repro.core.data_patterns import DataPattern, pattern_by_name, worst_case_pattern
 from repro.core.results import ProbabilityResult
 from repro.dram.chip import DramChip
+from repro.experiments.study import register_study
 
 #: Default hammer counts: a coarse version of the paper's 25k-150k sweep.
 DEFAULT_PROBABILITY_HC_SWEEP: Tuple[int, ...] = (25_000, 50_000, 75_000, 100_000, 125_000, 150_000)
+
+
+@dataclass(frozen=True)
+class ProbabilityStudyConfig:
+    """Parameters of the Table 5 flip-probability monotonicity study."""
+
+    hammer_counts: Tuple[int, ...] = DEFAULT_PROBABILITY_HC_SWEEP
+    iterations: int = 10
+    data_pattern: Optional[str] = None
+    bank: int = 0
+    victims: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.hammer_counts or any(hc <= 0 for hc in self.hammer_counts):
+            raise ValueError("hammer_counts must hold positive values")
+        if self.iterations < 1:
+            raise ValueError("iterations must be at least 1")
+
+
+@register_study("table5-flip-probability", config=ProbabilityStudyConfig)
+def run_flip_probability_study(
+    chip: DramChip, config: ProbabilityStudyConfig
+) -> ProbabilityResult:
+    """Single-cell flip-probability monotonicity (Table 5)."""
+    data_pattern = (
+        pattern_by_name(config.data_pattern) if config.data_pattern is not None else None
+    )
+    return flip_probability_study(
+        chip,
+        hammer_counts=config.hammer_counts,
+        iterations=config.iterations,
+        data_pattern=data_pattern,
+        bank=config.bank,
+        victims=config.victims,
+    )
 
 
 def flip_probability_study(

@@ -9,13 +9,57 @@ in newer (LPDDR4) technology nodes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.calibration import resolve_hammer_count
 from repro.core.characterization import RowHammerCharacterizer
-from repro.core.data_patterns import DataPattern, worst_case_pattern
+from repro.core.data_patterns import DataPattern, pattern_by_name, worst_case_pattern
 from repro.core.results import SpatialResult
 from repro.dram.chip import DramChip
+from repro.experiments.study import register_study
 from repro.utils.stats import mean, stddev
+
+
+@dataclass(frozen=True)
+class SpatialStudyConfig:
+    """Parameters of the Figure 6 spatial-distribution study.
+
+    ``target_rate`` enables the paper's rate normalization: when set, the
+    study first calibrates a chip-specific hammer count producing that
+    aggregate flip rate and uses it instead of ``hammer_count`` (falling
+    back to the 150k test ceiling when the rate is unreachable).
+    """
+
+    hammer_count: Optional[int] = None
+    target_rate: Optional[float] = None
+    data_pattern: Optional[str] = None
+    bank: int = 0
+    victims: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.hammer_count is not None and self.hammer_count <= 0:
+            raise ValueError("hammer_count must be positive")
+        if self.target_rate is not None and self.target_rate <= 0:
+            raise ValueError("target_rate must be positive")
+
+
+@register_study("fig6-spatial", config=SpatialStudyConfig)
+def run_spatial_distribution(chip: DramChip, config: SpatialStudyConfig) -> SpatialResult:
+    """Spatial distribution of bit flips around the victim (Figure 6)."""
+    data_pattern = (
+        pattern_by_name(config.data_pattern) if config.data_pattern is not None else None
+    )
+    hammer_count = resolve_hammer_count(
+        chip, config.hammer_count, config.target_rate, data_pattern, config.bank, config.victims
+    )
+    return spatial_distribution(
+        chip,
+        hammer_count=hammer_count,
+        data_pattern=data_pattern,
+        bank=config.bank,
+        victims=config.victims,
+    )
 
 
 def spatial_distribution(

@@ -8,12 +8,14 @@ shift of the curve up and to the left for newer technology nodes.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.characterization import RowHammerCharacterizer
-from repro.core.data_patterns import DataPattern, worst_case_pattern
+from repro.core.data_patterns import DataPattern, pattern_by_name, worst_case_pattern
 from repro.core.results import SweepPoint, SweepResult
 from repro.dram.chip import DramChip
+from repro.experiments.study import register_study
 
 #: Default sweep mirroring the paper's 10k-150k range (Section 5.3).
 DEFAULT_HAMMER_COUNTS: Tuple[int, ...] = (
@@ -27,19 +29,42 @@ DEFAULT_HAMMER_COUNTS: Tuple[int, ...] = (
 )
 
 
-def hammer_count_sweep(
-    chip: DramChip,
-    hammer_counts: Sequence[int] = DEFAULT_HAMMER_COUNTS,
-    data_pattern: Optional[DataPattern] = None,
-    bank: int = 0,
-    victims: Optional[Sequence[int]] = None,
-) -> SweepResult:
-    """Sweep the hammer count and record the aggregate bit-flip rate.
+@dataclass(frozen=True)
+class SweepStudyConfig:
+    """Parameters of the Figure 5 hammer-count sweep.
 
-    The flip rate is the number of observed bit flips divided by the number
-    of bits in the tested victim rows, matching the paper's definition
-    (footnote 6).
+    ``data_pattern`` names a standard pattern; ``None`` means the chip's
+    worst-case pattern.  ``victims`` of ``None`` means every testable row.
     """
+
+    hammer_counts: Tuple[int, ...] = DEFAULT_HAMMER_COUNTS
+    data_pattern: Optional[str] = None
+    bank: int = 0
+    victims: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.hammer_counts:
+            raise ValueError("at least one hammer count is required")
+        if any(hc <= 0 for hc in self.hammer_counts):
+            raise ValueError("hammer counts must be positive")
+
+
+@register_study("fig5-hc-sweep", config=SweepStudyConfig)
+def run_hammer_count_sweep(chip: DramChip, config: SweepStudyConfig) -> SweepResult:
+    """Hammer-count versus bit-flip-rate sweep (Figure 5, Observations 4-5)."""
+    data_pattern = (
+        pattern_by_name(config.data_pattern) if config.data_pattern is not None else None
+    )
+    return _sweep(chip, config.hammer_counts, data_pattern, config.bank, config.victims)
+
+
+def _sweep(
+    chip: DramChip,
+    hammer_counts: Sequence[int],
+    data_pattern: Optional[DataPattern],
+    bank: int,
+    victims: Optional[Sequence[int]],
+) -> SweepResult:
     characterizer = RowHammerCharacterizer(chip)
     if data_pattern is None:
         data_pattern = worst_case_pattern(chip.profile)
@@ -61,6 +86,24 @@ def hammer_count_sweep(
             SweepPoint(hammer_count=hammer_count, bit_flips=flips, cells_tested=cells_tested)
         )
     return result
+
+
+def hammer_count_sweep(
+    chip: DramChip,
+    hammer_counts: Sequence[int] = DEFAULT_HAMMER_COUNTS,
+    data_pattern: Optional[DataPattern] = None,
+    bank: int = 0,
+    victims: Optional[Sequence[int]] = None,
+) -> SweepResult:
+    """Sweep the hammer count and record the aggregate bit-flip rate.
+
+    The flip rate is the number of observed bit flips divided by the number
+    of bits in the tested victim rows, matching the paper's definition
+    (footnote 6).  Backward-compatible wrapper sharing its implementation
+    with the registered ``"fig5-hc-sweep"`` study; unlike the config-driven
+    study it accepts arbitrary (non-standard) :class:`DataPattern` objects.
+    """
+    return _sweep(chip, hammer_counts, data_pattern, bank, victims)
 
 
 def loglog_slope(sweep: SweepResult) -> Optional[float]:

@@ -8,13 +8,60 @@ across all words that contain at least one flip.
 
 from __future__ import annotations
 
+from collections import Counter
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.calibration import resolve_hammer_count
 from repro.core.characterization import RowHammerCharacterizer
-from repro.core.data_patterns import DataPattern, worst_case_pattern
+from repro.core.data_patterns import DataPattern, pattern_by_name, worst_case_pattern
 from repro.core.results import WordDensityResult
 from repro.dram.chip import DramChip
+from repro.experiments.study import register_study
 from repro.utils.stats import mean, stddev
+
+
+@dataclass(frozen=True)
+class WordDensityStudyConfig:
+    """Parameters of the Figure 7 flips-per-word study.
+
+    As in :class:`repro.core.spatial.SpatialStudyConfig`, setting
+    ``target_rate`` rate-normalizes the chip before measuring.
+    """
+
+    hammer_count: Optional[int] = None
+    target_rate: Optional[float] = None
+    word_bits: int = 64
+    data_pattern: Optional[str] = None
+    bank: int = 0
+    victims: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.hammer_count is not None and self.hammer_count <= 0:
+            raise ValueError("hammer_count must be positive")
+        if self.target_rate is not None and self.target_rate <= 0:
+            raise ValueError("target_rate must be positive")
+        if self.word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+
+
+@register_study("fig7-word-density", config=WordDensityStudyConfig)
+def run_word_density(chip: DramChip, config: WordDensityStudyConfig) -> WordDensityResult:
+    """Bit-flip density per data word (Figure 7)."""
+    data_pattern = (
+        pattern_by_name(config.data_pattern) if config.data_pattern is not None else None
+    )
+    hammer_count = resolve_hammer_count(
+        chip, config.hammer_count, config.target_rate, data_pattern, config.bank, config.victims
+    )
+    return word_density(
+        chip,
+        hammer_count=hammer_count,
+        word_bits=config.word_bits,
+        data_pattern=data_pattern,
+        bank=config.bank,
+        victims=config.victims,
+    )
 
 
 def word_density(
@@ -33,18 +80,15 @@ def word_density(
         hammer_count = DramChip.TEST_LIMIT_HC
     victims = list(victims) if victims is not None else characterizer.default_victims(bank)
 
-    word_counts: Dict[Tuple[int, int, int], int] = {}
     outcomes = characterizer.hammer_all_victims(
         hammer_count, data_pattern=data_pattern, bank=bank, victims=victims
     )
-    for outcome in outcomes:
-        for flip in outcome.flips:
-            key = (flip.bank, flip.row, flip.bit_index // word_bits)
-            word_counts[key] = word_counts.get(key, 0) + 1
-
-    histogram: Dict[int, int] = {}
-    for count in word_counts.values():
-        histogram[count] = histogram.get(count, 0) + 1
+    word_counts = Counter(
+        (flip.bank, flip.row, flip.bit_index // word_bits)
+        for outcome in outcomes
+        for flip in outcome.flips
+    )
+    histogram: Dict[int, int] = dict(Counter(word_counts.values()))
     return WordDensityResult(
         chip_id=chip.chip_id,
         type_node=chip.profile.type_node.value,

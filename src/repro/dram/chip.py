@@ -64,6 +64,18 @@ class ChipStats:
         self.row_reads = 0
         self.bit_flips_induced = 0
 
+    def merge(self, other: "ChipStats") -> None:
+        """Add another counter set into this one.
+
+        Used by the experiment executors, which run studies against a copy
+        of the chip and fold the copy's counters back into the original.
+        """
+        self.activations += other.activations
+        self.refreshes += other.refreshes
+        self.row_writes += other.row_writes
+        self.row_reads += other.row_reads
+        self.bit_flips_induced += other.bit_flips_induced
+
 
 @dataclass
 class _RowState:
@@ -207,6 +219,17 @@ class DramChip:
     def has_on_die_ecc(self) -> bool:
         """Whether reads pass through an undisableable on-die SEC ECC."""
         return self._ondie_ecc is not None
+
+    @property
+    def is_pristine(self) -> bool:
+        """Whether the chip is still in its as-constructed state.
+
+        True until the first row write or activation.  A pristine chip's
+        observable behaviour is a pure function of its construction
+        parameters, which is what lets the experiments result store key
+        cached study results by those parameters alone.
+        """
+        return not self._rows and not self._exposure
 
     def is_rowhammerable(self, hammer_limit: int = TEST_LIMIT_HC) -> bool:
         """Whether the chip's weakest cell is expected to flip within the limit."""

@@ -16,7 +16,7 @@ Tables 7 and 8 list every DDR4 and DDR3 module with its metadata and minimum
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.dram.chip import DramChip
 from repro.dram.geometry import ChipGeometry
@@ -225,6 +225,21 @@ def make_population(
         ]
         population[(entry.type_node, entry.manufacturer)] = chips
     return population
+
+
+def flatten_population(
+    population: Mapping[Tuple[TypeNode, str], Sequence[DramChip]],
+) -> List[DramChip]:
+    """Flatten a :func:`make_population` dict into one ordered chip list.
+
+    Chips appear in configuration order (Table 1 order for a full
+    population) then chip order, which is the canonical population order
+    used by :class:`repro.experiments.session.ExperimentSession`.
+    """
+    chips: List[DramChip] = []
+    for config_chips in population.values():
+        chips.extend(config_chips)
+    return chips
 
 
 def population_summary() -> Dict[str, Dict[str, Tuple[int, int]]]:

@@ -1,0 +1,66 @@
+"""Unified experiment orchestration: study registry, executors, result cache.
+
+Every paper analysis is exposed as a named *study* (see
+:func:`list_studies`) with a frozen config dataclass and a uniform
+``run(chip) -> payload`` contract.  An :class:`ExperimentSession` owns a
+chip population, fans studies out across it via pluggable executors
+(:class:`SerialExecutor`, process-pool :class:`ParallelExecutor` with
+bit-identical results), and caches per-chip results in a
+:class:`ResultStore` keyed by (study, config, chip identity) so work is
+never repeated across benchmarks or runs.
+
+Quickstart
+----------
+>>> from repro.experiments import ExperimentSession
+>>> session = ExperimentSession.from_table1(chips_per_config=1, seed=1)
+>>> sweep = session.run("fig5-hc-sweep")
+>>> len(sweep.results) == len(session.chips)
+True
+"""
+
+from repro.experiments.study import (
+    DuplicateStudyError,
+    RegisteredStudy,
+    Study,
+    StudyResult,
+    UnknownStudyError,
+    config_digest,
+    describe_studies,
+    get_study,
+    list_studies,
+    register_study,
+    unregister_study,
+)
+from repro.experiments.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    StudyTask,
+    TaskOutcome,
+)
+from repro.experiments.store import CacheKey, ResultStore, chip_digest
+from repro.experiments.session import ExperimentSession, SessionRunResult
+
+__all__ = [
+    "CacheKey",
+    "DuplicateStudyError",
+    "Executor",
+    "ExperimentSession",
+    "ParallelExecutor",
+    "RegisteredStudy",
+    "ResultStore",
+    "SerialExecutor",
+    "SessionRunResult",
+    "Study",
+    "StudyResult",
+    "StudyTask",
+    "TaskOutcome",
+    "UnknownStudyError",
+    "chip_digest",
+    "config_digest",
+    "describe_studies",
+    "get_study",
+    "list_studies",
+    "register_study",
+    "unregister_study",
+]

@@ -1,0 +1,288 @@
+"""The session API: one orchestration layer for every paper study.
+
+:class:`ExperimentSession` owns a chip population, fans registered studies
+out across it through a pluggable executor, caches per-chip results in a
+:class:`~repro.experiments.store.ResultStore`, and aggregates per-chip
+results into population-level views.
+
+>>> from repro.experiments import ExperimentSession
+>>> session = ExperimentSession.from_table1(chips_per_config=1, seed=7)
+>>> outcome = session.run("fig8-hcfirst")
+>>> len(outcome.results) == len(session.chips)
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.dram.chip import DramChip
+from repro.dram.geometry import ChipGeometry
+from repro.dram.module import DramModule
+from repro.dram.population import flatten_population, make_population
+from repro.experiments.executors import Executor, SerialExecutor, StudyTask
+from repro.experiments.store import ResultStore
+from repro.experiments.study import (
+    RegisteredStudy,
+    StudyResult,
+    config_digest,
+    get_study,
+)
+from repro.utils.rng import derive_seed
+
+#: Anything a session accepts as its chip population: a single chip, a
+#: module, an iterable of chips, or the configuration-keyed dict produced
+#: by :func:`repro.dram.population.make_population`.
+PopulationLike = Union[
+    DramChip,
+    DramModule,
+    Iterable[DramChip],
+    Mapping[Any, Sequence[DramChip]],
+]
+
+
+@dataclass
+class SessionRunResult:
+    """Outcome of one :meth:`ExperimentSession.run` call.
+
+    Holds one :class:`~repro.experiments.study.StudyResult` per chip (or a
+    single result for population-level studies), in chip order, plus
+    aggregation conveniences mirroring how the paper rolls chips up into
+    per-configuration figures and tables.
+    """
+
+    study: str
+    config: Any
+    results: List[StudyResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def payloads(self) -> List[Any]:
+        """The domain result of every chip, in chip order."""
+        return [result.payload for result in self.results]
+
+    def single(self) -> Any:
+        """The payload of a single-result run (one chip or a system study)."""
+        if len(self.results) != 1:
+            raise ValueError(
+                f"run produced {len(self.results)} results; single() needs exactly one"
+            )
+        return self.results[0].payload
+
+    def by_configuration(self) -> Dict[Tuple[str, str], List[Any]]:
+        """Payloads grouped by (type-node, manufacturer), preserving chip order."""
+        grouped: Dict[Tuple[str, str], List[Any]] = {}
+        for result in self.results:
+            if result.configuration is None:
+                continue
+            grouped.setdefault(result.configuration, []).append(result.payload)
+        return grouped
+
+    def for_chip(self, chip_id: str) -> Optional[Any]:
+        """Payload of one chip, or ``None`` if the chip was not part of the run."""
+        for result in self.results:
+            if result.chip_id == chip_id:
+                return result.payload
+        return None
+
+    @property
+    def cache_hits(self) -> int:
+        """How many of the results were replayed from the store."""
+        return sum(1 for result in self.results if result.from_cache)
+
+    @property
+    def executed(self) -> int:
+        """How many of the results were freshly computed."""
+        return len(self.results) - self.cache_hits
+
+
+class ExperimentSession:
+    """Runs registered studies over a chip population.
+
+    Parameters
+    ----------
+    population:
+        The chips to study -- a single chip, a module, a chip list, or the
+        dict :func:`repro.dram.population.make_population` returns.  More
+        chips can be added later with :meth:`add_chips`.
+    executor:
+        Execution backend; defaults to
+        :class:`~repro.experiments.executors.SerialExecutor`.  Swapping in
+        a :class:`~repro.experiments.executors.ParallelExecutor` changes
+        wall-clock time, never results (see the executor module docs).
+    store:
+        Optional :class:`~repro.experiments.store.ResultStore`; when given,
+        per-chip results are cached and replayed instead of recomputed.
+    seed:
+        Session seed from which every task derives an independent stream
+        (recorded on each result for standalone reproduction).
+    """
+
+    def __init__(
+        self,
+        population: Optional[PopulationLike] = None,
+        executor: Optional[Executor] = None,
+        store: Optional[ResultStore] = None,
+        seed: int = 0,
+    ) -> None:
+        self.executor = executor or SerialExecutor()
+        self.store = store
+        self.seed = seed
+        self._chips: List[DramChip] = []
+        if population is not None:
+            self.add_chips(population)
+
+    # ------------------------------------------------------------------
+    # Population management
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table1(
+        cls,
+        chips_per_config: Optional[int] = None,
+        seed: int = 0,
+        geometry: Optional[ChipGeometry] = None,
+        configurations: Optional[Sequence[Tuple[Any, str]]] = None,
+        executor: Optional[Executor] = None,
+        store: Optional[ResultStore] = None,
+    ) -> "ExperimentSession":
+        """Build a session over a Table 1 population (see ``make_population``)."""
+        population = make_population(
+            chips_per_config=chips_per_config,
+            seed=seed,
+            geometry=geometry,
+            configurations=configurations,
+        )
+        return cls(population, executor=executor, store=store, seed=seed)
+
+    def add_chips(self, population: PopulationLike) -> None:
+        """Add chips to the session's population (duplicates by identity skipped)."""
+        known = {id(chip) for chip in self._chips}
+        for chip in self._coerce_chips(population):
+            if id(chip) not in known:
+                known.add(id(chip))
+                self._chips.append(chip)
+
+    @staticmethod
+    def _coerce_chips(population: PopulationLike) -> List[DramChip]:
+        if isinstance(population, DramChip):
+            return [population]
+        if isinstance(population, DramModule):
+            return list(population.chips)
+        if isinstance(population, Mapping):
+            return flatten_population(population)
+        return list(population)
+
+    @property
+    def chips(self) -> List[DramChip]:
+        """The session's chip population, in insertion order."""
+        return list(self._chips)
+
+    def chips_for(self, type_node: Any, manufacturer: Optional[str] = None) -> List[DramChip]:
+        """Chips of one type-node (and optionally one manufacturer)."""
+        wanted = str(type_node)
+        return [
+            chip
+            for chip in self._chips
+            if chip.profile.type_node.value == wanted
+            and (manufacturer is None or chip.profile.manufacturer == manufacturer)
+        ]
+
+    def configurations(self) -> List[Tuple[str, str]]:
+        """Distinct (type-node, manufacturer) pairs present, in insertion order."""
+        seen: List[Tuple[str, str]] = []
+        for chip in self._chips:
+            key = (chip.profile.type_node.value, chip.profile.manufacturer)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Study execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        study: Union[str, RegisteredStudy],
+        config: Any = None,
+        chips: Optional[Sequence[DramChip]] = None,
+    ) -> SessionRunResult:
+        """Run one registered study over the population (or a chip subset).
+
+        Cached results are served from the store without touching the chips;
+        the remaining tasks go through the executor, and each freshly
+        computed result is written back to the store.  The returned results
+        are in chip order regardless of cache hits and executor backend.
+        """
+        spec = study if isinstance(study, RegisteredStudy) else get_study(study)
+        if config is None:
+            config = spec.default_config()
+        digest = config_digest(config)
+
+        if spec.requires_chip:
+            targets: List[Optional[DramChip]] = list(chips) if chips is not None else list(self._chips)
+            if not targets:
+                raise ValueError(
+                    f"study {spec.name!r} runs per chip but the session population is empty"
+                )
+        else:
+            targets = [None]
+
+        started = time.perf_counter()
+        results: List[Optional[StudyResult]] = [None] * len(targets)
+        pending_indices: List[int] = []
+        pending_tasks: List[StudyTask] = []
+        for index, chip in enumerate(targets):
+            # The store keys results by chip *construction* parameters, which
+            # only describe a chip nobody has written to or hammered outside
+            # the session.  A chip mutated directly by the caller bypasses
+            # the cache entirely (results stay correct, just uncached).
+            cacheable = chip is None or chip.is_pristine
+            if self.store is not None and cacheable:
+                key = self.store.key_for(spec.name, digest, chip)
+                cached = self.store.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            task_seed = derive_seed(
+                self.seed, spec.name, digest, chip.chip_id if chip is not None else "population"
+            )
+            pending_indices.append(index)
+            pending_tasks.append(StudyTask(study=spec.name, config=config, chip=chip, seed=task_seed))
+
+        outcomes = self.executor.run_tasks(pending_tasks)
+        for index, outcome in zip(pending_indices, outcomes):
+            results[index] = outcome.result
+            chip = targets[index]
+            if chip is not None and outcome.stats is not None:
+                # The executor ran against a copy; fold the copy's operation
+                # counters back so ChipStats reflects all work done on a chip.
+                chip.stats.merge(outcome.stats)
+            if self.store is not None and (chip is None or chip.is_pristine):
+                self.store.put(self.store.key_for(spec.name, digest, chip), outcome.result)
+
+        return SessionRunResult(
+            study=spec.name,
+            config=config,
+            results=[result for result in results if result is not None],
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def run_all(
+        self,
+        studies: Sequence[Union[str, RegisteredStudy]],
+        configs: Optional[Mapping[str, Any]] = None,
+        chips: Optional[Sequence[DramChip]] = None,
+    ) -> Dict[str, SessionRunResult]:
+        """Run several studies in order, returning results keyed by study name."""
+        configs = configs or {}
+        outcomes: Dict[str, SessionRunResult] = {}
+        for study in studies:
+            name = study if isinstance(study, str) else study.name
+            outcomes[name] = self.run(study, config=configs.get(name), chips=chips)
+        return outcomes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ExperimentSession(chips={len(self._chips)}, executor={self.executor!r}, "
+            f"store={'yes' if self.store is not None else 'no'}, seed={self.seed})"
+        )

@@ -1,0 +1,180 @@
+"""Disk-backed cache of study results keyed by everything that determines them.
+
+For a pristine chip (one never written to or hammered outside a session --
+see :attr:`repro.dram.chip.DramChip.is_pristine`), a study result is a pure
+function of (study name, config, chip construction parameters), because
+sessions execute studies hermetically against a copy of the chip (see
+:mod:`repro.experiments.executors`) and the copies of a pristine chip are
+themselves pristine.  Sessions bypass the store for non-pristine chips.  The
+:class:`ResultStore` exploits that: results are pickled on disk keyed by a
+digest of (study name, config digest, profile, geometry, seed, HC_first
+target, remapper), so benchmarks that share a chip population -- for
+example Table 4 and Figure 8, or Table 2's DDR3 subset -- stop recomputing
+each other's work, across processes and across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.dram.chip import DramChip
+from repro.experiments.study import StudyResult
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one cached study result."""
+
+    study: str
+    config_digest: str
+    chip_digest: str
+
+    @property
+    def filename(self) -> str:
+        return f"{self.config_digest}-{self.chip_digest}.pkl"
+
+
+def chip_digest(chip: Optional[DramChip]) -> str:
+    """Digest of everything that determines a chip's initial state.
+
+    A :class:`~repro.dram.chip.DramChip` is rebuilt deterministically from
+    its profile, geometry, seed and HC_first target, so those (plus the
+    chip id, which seeds nothing but keeps reports unambiguous) fully
+    identify the state a hermetic study observes.  ``None`` (system-level
+    studies with no chip) digests to a fixed marker.
+    """
+    if chip is None:
+        return "population"
+    geometry = chip.geometry
+    parts = (
+        chip.chip_id,
+        chip.profile.type_node.value,
+        chip.profile.manufacturer,
+        chip.seed,
+        chip.hcfirst_target,
+        geometry.banks,
+        geometry.rows_per_bank,
+        geometry.row_bytes,
+        chip.remapper.name,
+    )
+    text = "\x1f".join(repr(part) for part in parts)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters of one :class:`ResultStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+
+class ResultStore:
+    """Caches :class:`~repro.experiments.study.StudyResult` objects.
+
+    Parameters
+    ----------
+    root:
+        Directory for the on-disk pickle cache (created on first write).
+        ``None`` keeps the cache purely in memory -- useful for sharing
+        results between studies of one process without touching disk.
+
+    Results served from the store are marked ``from_cache=True`` so callers
+    (and the zero-activation acceptance check) can tell replays from fresh
+    executions.
+    """
+
+    def __init__(self, root: Optional[Union[str, os.PathLike]] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self.stats = StoreStats()
+        self._memory: Dict[CacheKey, StudyResult] = {}
+
+    # ------------------------------------------------------------------
+    # Key construction
+    # ------------------------------------------------------------------
+    def key_for(self, study: str, config_digest: str, chip: Optional[DramChip]) -> CacheKey:
+        return CacheKey(study=study, config_digest=config_digest, chip_digest=chip_digest(chip))
+
+    def _path(self, key: CacheKey) -> Optional[Path]:
+        if self.root is None:
+            return None
+        return self.root / key.study / key.filename
+
+    # ------------------------------------------------------------------
+    # Cache operations
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> Optional[StudyResult]:
+        """Fetch a cached result, or ``None`` on a miss."""
+        result = self._memory.get(key)
+        if result is None:
+            path = self._path(key)
+            if path is not None and path.exists():
+                with path.open("rb") as handle:
+                    result = pickle.load(handle)
+                self._memory[key] = result
+        if result is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return dataclasses.replace(result, from_cache=True)
+
+    def put(self, key: CacheKey, result: StudyResult) -> None:
+        """Store a freshly executed result in memory and (if rooted) on disk."""
+        stored = dataclasses.replace(result, from_cache=False)
+        self._memory[key] = stored
+        path = self._path(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Per-writer unique temp name: concurrent processes sharing one
+            # store root each publish their own complete pickle atomically.
+            tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
+            try:
+                with tmp.open("wb") as handle:
+                    pickle.dump(stored, handle)
+                tmp.replace(path)
+            finally:
+                if tmp.exists():  # pragma: no cover - only on a failed dump
+                    tmp.unlink()
+        self.stats.puts += 1
+
+    def contains(self, key: CacheKey) -> bool:
+        """Whether a result is cached (without counting a hit or a miss)."""
+        if key in self._memory:
+            return True
+        path = self._path(key)
+        return path is not None and path.exists()
+
+    def clear(self) -> None:
+        """Drop every cached result, in memory and on disk."""
+        self._memory.clear()
+        if self.root is not None and self.root.exists():
+            for study_dir in self.root.iterdir():
+                if not study_dir.is_dir():
+                    continue
+                for entry in study_dir.glob("*.pkl"):
+                    entry.unlink()
+
+    def __len__(self) -> int:
+        if self.root is None:
+            return len(self._memory)
+        if not self.root.exists():
+            return len(self._memory)
+        on_disk = sum(1 for _ in self.root.glob("*/*.pkl"))
+        return max(on_disk, len(self._memory))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        where = str(self.root) if self.root is not None else "memory"
+        return f"ResultStore({where!r}, hits={self.stats.hits}, misses={self.stats.misses})"

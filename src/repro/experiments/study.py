@@ -1,0 +1,248 @@
+"""Study registry: named, config-driven experiment units.
+
+Every analysis in the paper is one instance of the same shape -- run a study
+over a population of chips and aggregate -- so the library exposes each one
+as a *study*: a named unit with a frozen config dataclass and a uniform
+``run(chip, config) -> payload`` contract.  Studies are registered with
+:func:`register_study` and discovered by name through :func:`get_study` /
+:func:`list_studies`; :class:`~repro.experiments.session.ExperimentSession`
+fans registered studies out over chip populations.
+
+The registry deliberately knows nothing about chips or executors, so study
+implementations (which live next to the measurement code they wrap, for
+example :mod:`repro.core.sweeps`) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import importlib
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+
+
+class UnknownStudyError(KeyError):
+    """Raised when a study name is not present in the registry."""
+
+
+class DuplicateStudyError(ValueError):
+    """Raised when two studies are registered under the same name."""
+
+
+@runtime_checkable
+class Study(Protocol):
+    """Protocol every registered study satisfies.
+
+    A study has a unique ``name``, an optional frozen config dataclass
+    (``config_cls``) and a ``run(chip, config)`` method returning the
+    study's domain-specific payload (for example a
+    :class:`~repro.core.results.SweepResult`).  Population-level studies
+    (``requires_chip`` false) receive ``chip=None``.
+    """
+
+    name: str
+    config_cls: Optional[type]
+    requires_chip: bool
+
+    def run(self, chip: Any, config: Any = None) -> Any: ...
+
+
+@dataclass(frozen=True)
+class RegisteredStudy:
+    """A study registered under a unique name.
+
+    Wraps a plain function ``fn(chip, config) -> payload`` together with the
+    metadata the session layer needs: the config dataclass used when no
+    config is supplied, whether the study runs per chip or once per
+    population, and a human-readable description.
+    """
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+    config_cls: Optional[type] = None
+    requires_chip: bool = True
+    description: str = ""
+
+    def default_config(self) -> Any:
+        """A default-constructed config, or ``None`` for config-less studies."""
+        return self.config_cls() if self.config_cls is not None else None
+
+    def run(self, chip: Any, config: Any = None) -> Any:
+        """Execute the study against one chip (or ``None`` for system studies)."""
+        if config is None:
+            config = self.default_config()
+        return self.fn(chip, config)
+
+
+@dataclass
+class StudyResult:
+    """Uniform envelope around one study execution on one chip.
+
+    ``payload`` is the study's domain result (sweep, HC_first, coverage,
+    ...).  The envelope adds the identity needed to aggregate, cache and
+    compare results across chips and sessions.  ``elapsed_s`` and
+    ``from_cache`` are bookkeeping and excluded from equality so a cached
+    result compares equal to the run that produced it.
+    """
+
+    study: str
+    config_digest: str
+    chip_id: Optional[str]
+    type_node: Optional[str]
+    manufacturer: Optional[str]
+    seed: Optional[int]
+    payload: Any
+    elapsed_s: float = field(default=0.0, compare=False)
+    from_cache: bool = field(default=False, compare=False)
+
+    @property
+    def configuration(self) -> Optional[Tuple[str, str]]:
+        """(type-node, manufacturer) key used by population aggregations."""
+        if self.type_node is None or self.manufacturer is None:
+            return None
+        return (self.type_node, self.manufacturer)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, RegisteredStudy] = {}
+
+#: Modules whose import registers the library's built-in studies.  Loaded
+#: lazily (first registry lookup) to avoid import cycles: these modules
+#: import :func:`register_study` from here at their own import time.
+_BUILTIN_STUDY_MODULES: Tuple[str, ...] = (
+    "repro.core.characterization",
+    "repro.core.coverage",
+    "repro.core.sweeps",
+    "repro.core.spatial",
+    "repro.core.word_density",
+    "repro.core.first_flip",
+    "repro.core.ecc_analysis",
+    "repro.core.probability",
+    "repro.analysis.mitigation_study",
+)
+_builtins_loaded = False
+
+
+def _ensure_builtin_studies() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    for module in _BUILTIN_STUDY_MODULES:
+        importlib.import_module(module)
+
+
+def register_study(
+    name: str,
+    config: Optional[type] = None,
+    requires_chip: bool = True,
+    description: str = "",
+) -> Callable[[Callable[[Any, Any], Any]], Callable[[Any, Any], Any]]:
+    """Decorator registering ``fn(chip, config) -> payload`` as a named study.
+
+    >>> @register_study("demo-noop")
+    ... def run_noop(chip, config):
+    ...     return None
+
+    Parameters
+    ----------
+    name:
+        Unique registry name (convention: ``<artefact>-<topic>``, for
+        example ``"fig5-hc-sweep"``).
+    config:
+        Frozen dataclass type describing the study's parameters; default
+        constructed when a session runs the study without an explicit
+        config.  ``None`` for studies without parameters.
+    requires_chip:
+        ``False`` for population/system-level studies (for example the
+        Figure 10 mitigation study) that are executed once per session
+        rather than once per chip; their ``chip`` argument is ``None``.
+    description:
+        One-line human-readable summary; defaults to the first line of the
+        function's docstring.
+    """
+
+    def decorator(fn: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
+        if name in _REGISTRY:
+            raise DuplicateStudyError(
+                f"study {name!r} is already registered (by "
+                f"{_REGISTRY[name].fn.__module__}.{_REGISTRY[name].fn.__qualname__})"
+            )
+        summary = description
+        if not summary and fn.__doc__:
+            summary = fn.__doc__.strip().splitlines()[0].strip()
+        _REGISTRY[name] = RegisteredStudy(
+            name=name,
+            fn=fn,
+            config_cls=config,
+            requires_chip=requires_chip,
+            description=summary,
+        )
+        return fn
+
+    return decorator
+
+
+def unregister_study(name: str) -> None:
+    """Remove a study from the registry (primarily for tests and plugins)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_study(name: str) -> RegisteredStudy:
+    """Look up a registered study by name.
+
+    Raises :class:`UnknownStudyError` (a ``KeyError``) listing the known
+    study names when the name is absent.
+    """
+    _ensure_builtin_studies()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownStudyError(
+            f"unknown study {name!r}; registered studies: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_studies() -> List[str]:
+    """Sorted names of every registered study (built-ins included)."""
+    _ensure_builtin_studies()
+    return sorted(_REGISTRY)
+
+
+def describe_studies() -> Dict[str, str]:
+    """Mapping of study name to its one-line description."""
+    _ensure_builtin_studies()
+    return {name: _REGISTRY[name].description for name in sorted(_REGISTRY)}
+
+
+# ----------------------------------------------------------------------
+# Config digests
+# ----------------------------------------------------------------------
+def _canonical(value: Any) -> str:
+    """Deterministic string form of a (possibly nested) config value."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        inner = ",".join(f"{key}={_canonical(fields[key])}" for key in sorted(fields))
+        return f"{type(value).__name__}({inner})"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{_canonical(key)}:{_canonical(value[key])}" for key in sorted(value, key=repr)
+        )
+        return "{" + inner + "}"
+    if isinstance(value, (list, tuple)):
+        return "(" + ",".join(_canonical(item) for item in value) + ")"
+    return repr(value)
+
+
+def config_digest(config: Any) -> str:
+    """Stable hex digest of a study config, used in cache keys.
+
+    The digest is computed over a canonical textual form (dataclass fields
+    sorted by name, mappings sorted by key) so two structurally equal
+    configs always share a digest, across processes and sessions.
+    """
+    return hashlib.sha256(_canonical(config).encode("utf-8")).hexdigest()[:16]

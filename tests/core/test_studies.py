@@ -56,6 +56,16 @@ class TestCoverage:
 
 
 class TestSweeps:
+    def test_accepts_non_standard_pattern(self, vulnerable_chip):
+        # The wrapper must keep accepting arbitrary DataPattern objects
+        # (e.g. inverses), not only the eight named standard patterns.
+        from repro.core.data_patterns import ROWSTRIPE0
+
+        sweep = hammer_count_sweep(
+            vulnerable_chip, hammer_counts=(150_000,), data_pattern=ROWSTRIPE0.inverse()
+        )
+        assert sweep.data_pattern == "RowStripe0-inverse"
+
     def test_flip_rate_monotonic_in_hc(self, vulnerable_chip):
         sweep = hammer_count_sweep(vulnerable_chip, hammer_counts=(20_000, 60_000, 150_000))
         rates = sweep.flip_rates()

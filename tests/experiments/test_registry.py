@@ -1,0 +1,124 @@
+"""Tests for the study registry (names, duplicates, configs, digests)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.study import (
+    DuplicateStudyError,
+    RegisteredStudy,
+    Study,
+    UnknownStudyError,
+    config_digest,
+    describe_studies,
+    get_study,
+    list_studies,
+    register_study,
+    unregister_study,
+)
+
+BUILTIN_STUDIES = (
+    "alg1-characterization",
+    "fig4-coverage",
+    "fig5-hc-sweep",
+    "fig6-spatial",
+    "fig7-word-density",
+    "fig8-hcfirst",
+    "fig9-ecc-words",
+    "fig10-mitigations",
+    "table5-flip-probability",
+)
+
+
+class TestRegistry:
+    def test_builtin_studies_registered(self):
+        names = list_studies()
+        for name in BUILTIN_STUDIES:
+            assert name in names
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(UnknownStudyError) as excinfo:
+            get_study("no-such-study")
+        message = str(excinfo.value)
+        assert "no-such-study" in message
+        assert "fig5-hc-sweep" in message
+
+    def test_unknown_study_error_is_key_error(self):
+        with pytest.raises(KeyError):
+            get_study("also-not-a-study")
+
+    def test_duplicate_registration_rejected(self):
+        @register_study("test-duplicate-probe")
+        def first(chip, config):
+            return 1
+
+        try:
+            with pytest.raises(DuplicateStudyError):
+
+                @register_study("test-duplicate-probe")
+                def second(chip, config):
+                    return 2
+
+            # The original registration survives the failed attempt.
+            assert get_study("test-duplicate-probe").fn is first
+        finally:
+            unregister_study("test-duplicate-probe")
+
+    def test_unregister_removes_study(self):
+        @register_study("test-unregister-probe")
+        def probe(chip, config):
+            return None
+
+        unregister_study("test-unregister-probe")
+        assert "test-unregister-probe" not in list_studies()
+
+    def test_registered_study_satisfies_protocol(self):
+        spec = get_study("fig8-hcfirst")
+        assert isinstance(spec, Study)
+        assert isinstance(spec, RegisteredStudy)
+        assert spec.requires_chip
+
+    def test_description_defaults_to_docstring(self):
+        assert "Figure 5" in describe_studies()["fig5-hc-sweep"]
+
+    def test_population_study_flagged(self):
+        assert not get_study("fig10-mitigations").requires_chip
+
+    def test_default_config_is_config_cls_instance(self):
+        spec = get_study("fig5-hc-sweep")
+        config = spec.default_config()
+        assert isinstance(config, spec.config_cls)
+
+
+class TestConfigDigest:
+    def test_equal_configs_share_digest(self):
+        from repro.core.sweeps import SweepStudyConfig
+
+        a = SweepStudyConfig(hammer_counts=(10_000, 20_000))
+        b = SweepStudyConfig(hammer_counts=(10_000, 20_000))
+        assert config_digest(a) == config_digest(b)
+
+    def test_different_configs_differ(self):
+        from repro.core.sweeps import SweepStudyConfig
+
+        a = SweepStudyConfig(hammer_counts=(10_000, 20_000))
+        b = SweepStudyConfig(hammer_counts=(10_000, 30_000))
+        assert config_digest(a) != config_digest(b)
+
+    def test_nested_dataclasses_and_mappings_digest(self):
+        @dataclass(frozen=True)
+        class Inner:
+            value: int
+
+        @dataclass(frozen=True)
+        class Outer:
+            inner: Inner
+            table: tuple
+
+        a = Outer(inner=Inner(1), table=(("x", 1), ("y", 2)))
+        b = Outer(inner=Inner(1), table=(("x", 1), ("y", 2)))
+        assert config_digest(a) == config_digest(b)
+        assert config_digest(a) != config_digest(Outer(inner=Inner(2), table=()))
+
+    def test_none_config_digests(self):
+        assert config_digest(None) == config_digest(None)
