@@ -7,6 +7,11 @@ refresh-based mechanism, sweeping HC_first from 200k down to 64.
 The simulated interval is much shorter than the paper's 200M-instruction
 runs, so absolute overheads differ (see EXPERIMENTS.md); the qualitative
 results the paper draws its conclusions from are asserted below.
+
+The sweep runs on the event-driven simulator fast path (the default
+``step_mode``), which is bit-identical to the cycle-by-cycle reference --
+see ``tests/sim/test_golden_trace.py`` and ``benchmarks/bench_sim_speed.py``
+for the equivalence and speedup evidence.
 """
 
 from conftest import print_banner

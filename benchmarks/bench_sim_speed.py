@@ -1,0 +1,176 @@
+"""Wall-clock speedup of the event-driven simulator on the Figure 10 mixes.
+
+Runs the Figure 10 workload mixes (the multi-programmed 8-core mixes the
+mitigation evaluation simulates) through the cycle-level simulator twice per
+scenario -- once with the cycle-by-cycle reference (``step_mode="cycle"``)
+and once with the event-driven fast path (``step_mode="event"``) -- asserts
+the results are bit-identical, and records the measured speedups into
+``BENCH_sim.json`` at the repository root.
+
+Scenarios cover the whole Figure 10 mechanism set, each at an ``HC_first``
+where the paper evaluates it, plus the no-mitigation baseline.
+"""
+
+import dataclasses
+import json
+import platform
+import time
+from pathlib import Path
+
+from conftest import print_banner
+
+from repro.analysis.mitigation_study import DEFAULT_MECHANISMS
+from repro.mitigations.base import MitigationConfig
+from repro.mitigations.registry import build_mechanism
+from repro.sim.config import SystemConfig
+from repro.sim.system import Simulation
+from repro.sim.workloads import make_workload_mixes
+
+#: Where the measured speedups are recorded.
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+#: Figure 10 evaluation scenarios: (mechanism, HC_first); None = baseline.
+SCENARIOS = (
+    (None, None),
+    ("IncreasedRefresh", 50_000),
+    ("PARA", 1_024),
+    ("ProHIT", 2_000),
+    ("MRLoc", 2_000),
+    ("TWiCe", 50_000),
+    ("TWiCe-ideal", 1_024),
+    ("Ideal", 1_024),
+)
+
+NUM_MIXES = 4
+DRAM_CYCLES = 20_000
+REQUESTS_PER_CORE = 4_000
+SEED = 0
+
+#: Acceptance target: the event-driven fast path must be at least this much
+#: faster than the cycle reference across the Figure 10 workload mixes.
+TARGET_SPEEDUP = 5.0
+
+
+def result_fingerprint(result):
+    return (
+        result.dram_cycles,
+        tuple(result.core_ipcs),
+        dataclasses.astuple(result.controller_stats),
+        tuple(dataclasses.astuple(stats) for stats in result.core_stats),
+        result.mitigation_busy_cycles,
+        result.demand_busy_cycles,
+    )
+
+
+def build_mitigation(config, mechanism, hcfirst, mix_index):
+    if mechanism is None:
+        return None
+    return build_mechanism(
+        mechanism,
+        MitigationConfig(
+            hcfirst=hcfirst,
+            banks=config.banks,
+            rows_per_bank=config.rows_per_bank,
+            timings=config.timings,
+            seed=SEED + mix_index,
+        ),
+    )
+
+
+def test_event_mode_speedup(benchmark):
+    config = SystemConfig(rows_per_bank=4096)
+    mixes = make_workload_mixes(num_mixes=NUM_MIXES, cores=config.cores, seed=SEED)
+    traces_per_mix = [
+        mix.build_traces(
+            banks=config.banks,
+            rows_per_bank=config.rows_per_bank,
+            columns_per_row=config.columns_per_row,
+            requests_per_core=REQUESTS_PER_CORE,
+            seed=SEED,
+        )
+        for mix in mixes
+    ]
+
+    def run_all(step_mode):
+        elapsed = {}
+        fingerprints = {}
+        for mechanism, hcfirst in SCENARIOS:
+            label = mechanism or "baseline"
+            total = 0.0
+            for mix_index, traces in enumerate(traces_per_mix):
+                mitigation = build_mitigation(config, mechanism, hcfirst, mix_index)
+                simulation = Simulation(
+                    config, traces, mitigation=mitigation, step_mode=step_mode
+                )
+                started = time.perf_counter()
+                result = simulation.run(DRAM_CYCLES)
+                total += time.perf_counter() - started
+                fingerprints[(label, mix_index)] = result_fingerprint(result)
+            elapsed[label] = total
+        return elapsed, fingerprints
+
+    cycle_times, cycle_results = run_all("cycle")
+    (event_times, event_results) = benchmark.pedantic(
+        lambda: run_all("event"), rounds=1, iterations=1
+    )
+
+    # Bit-identical results across all scenarios and mixes is the contract
+    # the speedup rides on.
+    assert event_results == cycle_results
+
+    scenarios = {}
+    for mechanism, _hcfirst in SCENARIOS:
+        label = mechanism or "baseline"
+        scenarios[label] = {
+            "cycle_s": round(cycle_times[label], 4),
+            "event_s": round(event_times[label], 4),
+            "speedup": round(cycle_times[label] / event_times[label], 2),
+        }
+    total_cycle = sum(cycle_times.values())
+    total_event = sum(event_times.values())
+    speedup = total_cycle / total_event
+
+    # Every non-baseline scenario must be part of the Figure 10 mechanism
+    # set, or the recorded file would misrepresent the study.
+    assert all(m in DEFAULT_MECHANISMS for m, _ in SCENARIOS if m is not None)
+
+    payload = {
+        "benchmark": "bench_sim_speed",
+        "description": (
+            "Wall-clock of the cycle-level simulator on the Figure 10 workload "
+            "mixes: step_mode='cycle' reference vs the event-driven fast path "
+            "(bit-identical results asserted)"
+        ),
+        "config": {
+            "num_mixes": NUM_MIXES,
+            "cores": config.cores,
+            "rows_per_bank": config.rows_per_bank,
+            "dram_cycles": DRAM_CYCLES,
+            "requests_per_core": REQUESTS_PER_CORE,
+            "seed": SEED,
+            "mechanisms": [m or "baseline" for m, _ in SCENARIOS],
+        },
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+        "total_cycle_s": round(total_cycle, 3),
+        "total_event_s": round(total_event, 3),
+        "speedup": round(speedup, 2),
+        "target_speedup": TARGET_SPEEDUP,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_banner("Event-driven simulator speedup on the Figure 10 workload mixes")
+    for label, entry in scenarios.items():
+        print(
+            f"{label:18s} cycle {entry['cycle_s']:7.3f}s  "
+            f"event {entry['event_s']:7.3f}s  {entry['speedup']:5.2f}x"
+        )
+    print(
+        f"{'TOTAL':18s} cycle {total_cycle:7.3f}s  event {total_event:7.3f}s  "
+        f"{speedup:5.2f}x  (recorded in {RESULT_PATH.name})"
+    )
+
+    assert speedup >= TARGET_SPEEDUP, (
+        f"event-driven mode must be >= {TARGET_SPEEDUP}x faster on the Figure 10 "
+        f"mixes, measured {speedup:.2f}x"
+    )

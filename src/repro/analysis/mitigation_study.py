@@ -23,7 +23,7 @@ from repro.mitigations.base import MitigationConfig
 from repro.mitigations.registry import build_mechanism, is_evaluable
 from repro.sim.config import SystemConfig
 from repro.sim.metrics import normalized_performance, weighted_speedup
-from repro.sim.system import run_alone_ipcs, run_workload
+from repro.sim.system import Simulation
 from repro.sim.workloads import WorkloadMix, make_workload_mixes
 
 #: Default HC_first sweep of Figure 10 (200k down to 64).
@@ -131,6 +131,9 @@ class MitigationStudyConfig:
     seed: int = 0
     respect_design_constraints: bool = True
     time_scale: float = 1.0
+    #: Simulation stepping strategy; ``"cycle"`` is the bit-identical
+    #: reference implementation (see :class:`repro.sim.system.Simulation`).
+    step_mode: str = "event"
 
     def __post_init__(self) -> None:
         if not self.hcfirst_values or any(hc <= 0 for hc in self.hcfirst_values):
@@ -160,6 +163,7 @@ def run_mitigation_study_for_config(
         seed=config.seed,
         respect_design_constraints=config.respect_design_constraints,
         time_scale=config.time_scale,
+        step_mode=config.step_mode,
     )
 
 
@@ -173,6 +177,7 @@ def run_mitigation_study(
     seed: int = 0,
     respect_design_constraints: bool = True,
     time_scale: float = 1.0,
+    step_mode: str = "event",
 ) -> MitigationStudyResult:
     """Run the Figure 10 evaluation.
 
@@ -197,34 +202,47 @@ def run_mitigation_study(
         1.0 models the mechanisms faithfully; values below 1.0 compress the
         refresh window into the simulated interval, which over-approximates
         the overhead of counter-based mechanisms on short runs.
+    step_mode:
+        Simulation stepping strategy passed to every
+        :class:`~repro.sim.system.Simulation`; the default event-driven mode
+        and the ``"cycle"`` reference produce bit-identical studies.
+
+    Traces are generated once per mix and shared by every evaluation point
+    (every ``Simulation`` copies the per-core record lists it needs, and the
+    records themselves are immutable), so the sweep pays for trace synthesis
+    ``num_mixes`` times instead of once per (mechanism, HC_first, mix) run.
     """
     config = system_config or SystemConfig(rows_per_bank=4096)
     mixes = list(workload_mixes) if workload_mixes is not None else make_workload_mixes(
         num_mixes=4, cores=config.cores, seed=seed
     )
+    traces_per_mix = [
+        mix.build_traces(
+            banks=config.banks,
+            rows_per_bank=config.rows_per_bank,
+            columns_per_row=config.columns_per_row,
+            requests_per_core=requests_per_core,
+            seed=seed,
+        )
+        for mix in mixes
+    ]
 
     # Baselines (no mitigation) and alone IPCs are shared across all points.
     baselines = []
     alone_ipcs_per_mix = []
-    for mix in mixes:
+    for traces in traces_per_mix:
         baselines.append(
-            run_workload(
-                config,
-                mix,
-                dram_cycles=dram_cycles,
-                requests_per_core=requests_per_core,
-                mitigation=None,
-                seed=seed,
+            Simulation(config, traces, mitigation=None, step_mode=step_mode).run(
+                dram_cycles
             )
         )
         alone_ipcs_per_mix.append(
-            run_alone_ipcs(
-                config,
-                mix,
-                dram_cycles=dram_cycles,
-                requests_per_core=requests_per_core,
-                seed=seed,
-            )
+            [
+                Simulation(config, [trace], mitigation=None, step_mode=step_mode)
+                .run(dram_cycles)
+                .core_ipcs[0]
+                for trace in traces
+            ]
         )
     baseline_speedups = [
         weighted_speedup(result.core_ipcs, alone)
@@ -238,7 +256,7 @@ def run_mitigation_study(
                 continue
             performances: List[float] = []
             overheads: List[float] = []
-            for mix_index, mix in enumerate(mixes):
+            for mix_index, traces in enumerate(traces_per_mix):
                 mitigation = build_mechanism(
                     mechanism_name,
                     MitigationConfig(
@@ -250,14 +268,9 @@ def run_mitigation_study(
                         time_scale=time_scale,
                     ),
                 )
-                result = run_workload(
-                    config,
-                    mix,
-                    dram_cycles=dram_cycles,
-                    requests_per_core=requests_per_core,
-                    mitigation=mitigation,
-                    seed=seed,
-                )
+                result = Simulation(
+                    config, traces, mitigation=mitigation, step_mode=step_mode
+                ).run(dram_cycles)
                 speedup = weighted_speedup(result.core_ipcs, alone_ipcs_per_mix[mix_index])
                 performances.append(
                     normalized_performance(speedup, baseline_speedups[mix_index])

@@ -135,6 +135,32 @@ class MitigationMechanism(ABC):
         """Scaling applied to tREFI (< 1 refreshes more often, 1 = nominal)."""
         return 1.0
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which the mechanism acts *on its own*.
+
+        The event-driven simulation loop folds this into the memory
+        controller's horizon (see
+        :meth:`repro.sim.controller.MemoryController.next_event_cycle`)
+        before fast-forwarding the clock.  All evaluated mechanisms act only
+        inside :meth:`on_activate` and :meth:`on_refresh` -- both of which
+        fire at controller events that are already part of the horizon (PARA
+        draws its RNG per activation, TWiCe advances its table epochs and
+        ProHIT/MRLoc pop their queues per refresh command), so the default
+        is ``None`` ("no autonomous timer").
+
+        The contract is precisely "do not fast-forward past this cycle": the
+        returned cycle is guaranteed to be *processed* (the controller ticks
+        at it), but nothing dispatches into the mechanism there, because no
+        such autonomous mechanism exists yet.  A future mechanism that
+        schedules work at cycles of its own choosing (e.g. a background
+        scrubber) must both override this -- returning ``None`` or a past
+        cycle while holding a live timer would let the fast-forward jump
+        over it -- and add a controller dispatch path that actually invokes
+        it at the timer cycle, in ``tick`` *and* ``tick_reference`` so both
+        step modes stay bit-identical.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Reporting helpers
     # ------------------------------------------------------------------

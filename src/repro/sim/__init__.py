@@ -1,4 +1,4 @@
-"""Cycle-level DDR4 memory-system simulator.
+"""Cycle-level DDR4 memory-system simulator with an event-driven fast path.
 
 This package replaces the paper's Ramulator + SPEC CPU2006 setup (Table 6)
 with a pure-Python equivalent:
@@ -15,6 +15,40 @@ with a pure-Python equivalent:
   workload mixes used in the evaluation.
 * :mod:`repro.sim.metrics` -- weighted speedup and bandwidth-overhead metrics.
 * :mod:`repro.sim.system` -- the top-level multi-core simulation harness.
+
+Execution model
+---------------
+A :class:`~repro.sim.system.Simulation` runs in one of two bit-identical
+step modes:
+
+* ``step_mode="cycle"`` -- the reference implementation ticks the controller
+  and every core at every DRAM cycle, scheduling by scanning the request
+  queues directly.  It is the oracle the fast path is validated against
+  (``tests/sim/test_golden_trace.py``).
+* ``step_mode="event"`` (default) -- the event-driven fast path.  All state
+  changes happen at *events*: command issues, read-data completions,
+  periodic refreshes, and trace injections by the cores.  Each component
+  exposes a ``next_event_cycle()`` horizon -- :class:`~repro.sim.bank.BankState`
+  offers the bank-level primitive over its command timers (the controller
+  computes tighter per-request bounds from mirrored copies of the same
+  timers), :class:`~repro.sim.controller.MemoryController` folds those
+  bounds with rank constraints, the refresh schedule, pending completions
+  and any mitigation timer, and :class:`~repro.sim.core.SimpleCore` reports
+  its bubble budget and stall state -- and the loop jumps the clock straight
+  to the minimum, accounting the skipped cycles in bulk.
+
+Adding a mitigation timer to the horizon
+----------------------------------------
+Mechanisms that act only inside ``on_activate``/``on_refresh`` need no extra
+work: activations and refresh commands are already events.  A mechanism that
+schedules autonomous work at a cycle of its own choosing (say, a background
+scrubber) must override
+:meth:`repro.mitigations.base.MitigationMechanism.next_event_cycle` to
+return that cycle; the controller folds it into every horizon it reports,
+so the fast-forward can never jump over the timer.  The hook guarantees the
+timer cycle is processed, not that the mechanism is invoked there -- an
+autonomous mechanism also needs a dispatch path in the controller's ``tick``
+and ``tick_reference`` (see the hook's docstring).
 """
 
 from repro.sim.config import SystemConfig

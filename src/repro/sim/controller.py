@@ -14,6 +14,17 @@ exposes two hooks to a RowHammer mitigation mechanism:
 The controller also accounts separately for the DRAM bank-time consumed by
 demand traffic, by nominal refresh, and by the mitigation mechanism, which
 is what the bandwidth-overhead metric of Figure 10a reports.
+
+Event horizon
+-------------
+All controller state changes happen at *events*: a command issue, a read
+completion, or a periodic refresh.  :meth:`MemoryController.next_event_cycle`
+returns the earliest future cycle at which any of those could occur --
+folding in bank and rank timers for every queued request, pending read
+completions, the refresh schedule (including a mitigation's increased
+refresh rate), and any autonomous mitigation timer -- so the event-driven
+simulation loop can jump the clock straight to it.  Between two events,
+ticking the controller is a no-op by construction.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.sim.bank import BankState, RankState
 from repro.sim.config import SystemConfig
+from repro.sim.core import NEVER as _NEVER
 from repro.sim.requests import MemoryRequest, RequestType
 
 
@@ -78,19 +90,64 @@ class MemoryController:
         self._nominal_trefi = config.timings.trefi
 
         self.banks: List[BankState] = [BankState(timings) for _ in range(config.banks)]
+        # Flat mirrors of the hot per-bank fields (open row and command
+        # timers).  The scheduler's per-bank classification loop runs every
+        # processed cycle; reading plain list slots is markedly cheaper than
+        # attribute access on the BankState objects.  Every controller code
+        # path that mutates a bank must call :meth:`_sync_bank` afterwards;
+        # the banks are controller-owned, so no other code mutates them.
+        self._bank_open_row: List[Optional[int]] = [None] * config.banks
+        self._bank_next_activate = [0] * config.banks
+        self._bank_next_precharge = [0] * config.banks
+        self._bank_next_read = [0] * config.banks
+        self._bank_next_write = [0] * config.banks
         self.rank = RankState(timings)
         self.read_queue: List[MemoryRequest] = []
         self.write_queue: List[MemoryRequest] = []
         self.victim_queue: List[MemoryRequest] = []
         self._pending_completions: List[Tuple[int, MemoryRequest]] = []
+        #: Earliest cycle at which a pending read's data returns (``_NEVER``
+        #: when none are in flight).  Public for the event loop, which must
+        #: settle lazily accounted core state *before* the tick that fires a
+        #: completion (completion flags feed window retirement).
+        self.earliest_completion_cycle = _NEVER
         self._next_refresh = timings.trefi
         self._refresh_until = 0
         self.stats = ControllerStats()
+        # Per-bank demand-queue occupancy, maintained incrementally so the
+        # scheduler classifies banks in O(banks) instead of scanning the
+        # queues: how many queued requests target each bank, and how many of
+        # them are row hits (target the bank's currently open row).  Hits are
+        # recounted only when a bank's open row changes (an event).
+        self._read_pending = [0] * config.banks
+        self._read_hits = [0] * config.banks
+        self._write_pending = [0] * config.banks
+        self._write_hits = [0] * config.banks
+        # Event horizon cache: while ``cycle < _quiet_until`` and no request
+        # has been enqueued since it was computed, ticking is a proven no-op.
+        self._quiet_until = 0
+        #: Number of requests accepted into the queues; the simulation loop
+        #: compares snapshots of this to detect whether cores injected work.
+        self.enqueue_count = 0
+        #: Number of core-visible wake events (read-data completions and
+        #: demand-queue pops).  A stalled core can only resume after one of
+        #: these, which is what lets the simulation loop cache stall
+        #: classifications between events.
+        self.wake_count = 0
         #: Optional observers for co-simulation with a behavioural chip model:
         #: called as ``hook(bank, row, cycle)`` on every demand activation /
         #: victim refresh the controller issues.
         self.activate_hook = None
         self.victim_refresh_hook = None
+
+    def _sync_bank(self, bank_index: int) -> None:
+        """Refresh the flat per-bank mirrors after a bank mutation."""
+        bank = self.banks[bank_index]
+        self._bank_open_row[bank_index] = bank.open_row
+        self._bank_next_activate[bank_index] = bank.next_activate
+        self._bank_next_precharge[bank_index] = bank.next_precharge
+        self._bank_next_read[bank_index] = bank.next_read
+        self._bank_next_write[bank_index] = bank.next_write
 
     # ------------------------------------------------------------------
     # Enqueue interface (used by cores)
@@ -108,10 +165,18 @@ class MemoryController:
         if not self.can_accept(request):
             return False
         request.arrival_cycle = cycle
+        self.enqueue_count += 1
+        self._quiet_until = 0
         if request.is_read:
             self.read_queue.append(request)
+            self._read_pending[request.bank] += 1
+            if self._bank_open_row[request.bank] == request.row:
+                self._read_hits[request.bank] += 1
         elif request.is_write:
             self.write_queue.append(request)
+            self._write_pending[request.bank] += 1
+            if self._bank_open_row[request.bank] == request.row:
+                self._write_hits[request.bank] += 1
             # Posted write: the core considers it done once buffered.
             request.complete(cycle)
         else:
@@ -131,61 +196,99 @@ class MemoryController:
     # ------------------------------------------------------------------
     # Main tick
     # ------------------------------------------------------------------
-    def tick(self, cycle: int) -> None:
-        """Advance the controller by one DRAM cycle."""
+    def tick(self, cycle: int) -> Optional[int]:
+        """Advance the controller by one DRAM cycle.
+
+        Returns ``None`` when an event occurred this cycle (a completion, a
+        refresh command, or a command issue); otherwise the cycle was
+        quiescent and the return value is the controller's event horizon --
+        the earliest future cycle at which its state can change, computed as
+        a byproduct of the failed scheduling scan.  The event-driven loop
+        uses this to fast-forward without a second queue scan; cycle-mode
+        callers simply ignore the return value.
+        """
+        self.stats.cycles = cycle + 1
+        if cycle < self._quiet_until:
+            # A previous quiescent tick proved nothing can happen before its
+            # horizon, and no request has been enqueued since.
+            return self._quiet_until
+        completed = cycle >= self.earliest_completion_cycle and self._complete_due(cycle)
+        refreshed = cycle >= self._next_refresh and self._maybe_refresh(cycle)
+        if cycle < self._refresh_until:
+            # The rank is busy with an all-bank refresh; nothing can issue
+            # before it ends.
+            if completed or refreshed:
+                return None
+            issue_horizon = self._refresh_until
+        else:
+            issue_horizon = self._schedule(cycle)
+            if issue_horizon is None or completed or refreshed:
+                self._quiet_until = 0
+                return None
+        horizon = self._next_refresh
+        if issue_horizon < horizon:
+            horizon = issue_horizon
+        if self.earliest_completion_cycle < horizon:
+            horizon = self.earliest_completion_cycle
+        if self.mitigation is not None:
+            timer = self.mitigation.next_event_cycle(cycle)
+            if timer is not None and timer < horizon:
+                horizon = timer
+        floor = cycle + 1
+        horizon = horizon if horizon > floor else floor
+        self._quiet_until = horizon
+        return horizon
+
+    # ------------------------------------------------------------------
+    # Reference tick (the ``step_mode="cycle"`` oracle)
+    # ------------------------------------------------------------------
+    #
+    # The reference path makes every scheduling decision by scanning the
+    # request queues and reading the BankState objects directly -- the
+    # simple, obviously-correct FR-FCFS formulation this simulator started
+    # with.  It deliberately does NOT consult the incremental structures the
+    # fast path relies on (per-bank pending/hit counters, flat bank mirrors,
+    # the quiet-until cache), so the golden regression suite genuinely
+    # validates that machinery against an independent implementation instead
+    # of comparing it with itself.  Issued commands still run through the
+    # shared bookkeeping helpers, which keeps the incremental structures
+    # consistent either way (asserted by the consistency unit tests).
+    def tick_reference(self, cycle: int) -> None:
+        """Advance the controller by one DRAM cycle (reference scheduler)."""
         self.stats.cycles = cycle + 1
         self._complete_due(cycle)
-        self._maybe_refresh(cycle)
+        if cycle >= self._next_refresh:
+            self._maybe_refresh(cycle)
         if cycle < self._refresh_until:
             return  # the rank is busy with an all-bank refresh
-        self._schedule(cycle)
+        self._schedule_reference(cycle)
 
-    # ------------------------------------------------------------------
-    # Refresh handling
-    # ------------------------------------------------------------------
-    def _maybe_refresh(self, cycle: int) -> None:
-        if cycle < self._next_refresh:
-            return
-        timings = self.timings
-        # Close all banks and block the rank for tRFC.
-        start = cycle
-        for bank in self.banks:
-            start = max(start, bank.next_precharge if bank.open_row is not None else cycle)
-        end = start + timings.trfc
-        for bank in self.banks:
-            bank.block_until(end)
-        self._refresh_until = end
-        self._next_refresh += timings.trefi
-        self.stats.refresh_commands += 1
-        self.stats.refresh_busy_cycles += timings.trfc
-        if self.mitigation is not None:
-            for bank, row in self.mitigation.on_refresh(cycle):
-                self._enqueue_victim_refresh(bank, row, cycle)
-
-    # ------------------------------------------------------------------
-    # Scheduling (FR-FCFS)
-    # ------------------------------------------------------------------
-    def _schedule(self, cycle: int) -> None:
+    def _schedule_reference(self, cycle: int) -> None:
         # Victim refreshes have priority: they are the mitigation mechanism's
         # correctness-critical work.
-        if self.victim_queue and self._issue_victim_refresh(cycle):
+        if self.victim_queue and self._issue_victim_refresh_reference(cycle):
             return
-        if self._issue_from_queue(self.read_queue, cycle, is_write=False):
+        if self._issue_from_queue_reference(self.read_queue, cycle, is_write=False):
             return
         # Drain writes when there is no read work to do or the queue is deep.
         drain_writes = (
             not self.read_queue
             or len(self.write_queue) >= self.config.write_queue_depth // 2
         )
-        if drain_writes and self._issue_from_queue(self.write_queue, cycle, is_write=True):
+        if drain_writes and self._issue_from_queue_reference(
+            self.write_queue, cycle, is_write=True
+        ):
             return
 
-    def _issue_victim_refresh(self, cycle: int) -> bool:
+    def _issue_victim_refresh_reference(self, cycle: int) -> bool:
         for index, request in enumerate(self.victim_queue):
             bank = self.banks[request.bank]
             if bank.open_row is not None:
                 if bank.can_precharge(cycle):
                     bank.precharge(cycle)
+                    self._sync_bank(request.bank)
+                    self._read_hits[request.bank] = 0
+                    self._write_hits[request.bank] = 0
                     return True
                 continue
             if bank.can_activate(cycle) and self.rank.can_activate(cycle):
@@ -194,6 +297,7 @@ class MemoryController:
                 bank.activate(cycle, request.row)
                 self.rank.record_activate(cycle)
                 bank.block_until(cycle + self.timings.trc)
+                self._sync_bank(request.bank)
                 self.stats.mitigation_refreshes += 1
                 self.stats.mitigation_busy_cycles += self.timings.trc
                 request.complete(cycle + self.timings.trc)
@@ -205,7 +309,7 @@ class MemoryController:
                 return True
         return False
 
-    def _issue_from_queue(
+    def _issue_from_queue_reference(
         self, queue: List[MemoryRequest], cycle: int, is_write: bool
     ) -> bool:
         if not queue:
@@ -222,41 +326,278 @@ class MemoryController:
                 self._issue_column(queue, index, cycle, is_write)
                 return True
         # Then oldest first: progress the oldest request towards opening its row.
-        for index, request in enumerate(queue):
-            bank = self.banks[request.bank]
+        for request in queue:
+            bank_index = request.bank
+            bank = self.banks[bank_index]
             if bank.open_row == request.row:
                 continue  # waiting for column timing; nothing to issue
             if bank.open_row is not None:
-                if bank.can_precharge(cycle) and not self._row_has_pending_hit(bank, queue):
+                if bank.can_precharge(cycle) and not self._row_has_pending_hit(
+                    bank_index, bank.open_row, queue
+                ):
                     bank.precharge(cycle)
+                    self._sync_bank(bank_index)
+                    self._read_hits[bank_index] = 0
+                    self._write_hits[bank_index] = 0
                     self.stats.row_conflicts += 1
                     return True
                 continue
             if bank.can_activate(cycle) and self.rank.can_activate(cycle):
                 bank.activate(cycle, request.row)
+                self._sync_bank(bank_index)
                 self.rank.record_activate(cycle)
                 self.stats.demand_activates += 1
                 self.stats.demand_busy_cycles += self.timings.trc
-                self._notify_activation(request.bank, request.row, cycle)
+                self._recount_hits(bank_index, request.row)
+                self._notify_activation(bank_index, request.row, cycle)
                 if self.activate_hook is not None:
-                    self.activate_hook(request.bank, request.row, cycle)
+                    self.activate_hook(bank_index, request.row, cycle)
                 return True
         return False
 
-    def _row_has_pending_hit(self, bank: BankState, queue: List[MemoryRequest]) -> bool:
-        """Whether any queued request still targets the bank's open row."""
-        open_row = bank.open_row
-        bank_index = self.banks.index(bank)
-        return any(
-            request.bank == bank_index and request.row == open_row for request in queue
+    # ------------------------------------------------------------------
+    # Refresh handling
+    # ------------------------------------------------------------------
+    def _maybe_refresh(self, cycle: int) -> bool:
+        """Issue the periodic all-bank refresh (caller checks ``_next_refresh``)."""
+        timings = self.timings
+        # Close all banks and block the rank for tRFC.
+        start = cycle
+        for bank in self.banks:
+            start = max(start, bank.next_precharge if bank.open_row is not None else cycle)
+        end = start + timings.trfc
+        for bank in self.banks:
+            bank.block_until(end)
+        # Every bank is closed now; no queued request is a row hit any more.
+        for bank_index in range(self.config.banks):
+            self._sync_bank(bank_index)
+            self._read_hits[bank_index] = 0
+            self._write_hits[bank_index] = 0
+        self._refresh_until = end
+        self._next_refresh += timings.trefi
+        self.stats.refresh_commands += 1
+        self.stats.refresh_busy_cycles += timings.trfc
+        if self.mitigation is not None:
+            for bank, row in self.mitigation.on_refresh(cycle):
+                self._enqueue_victim_refresh(bank, row, cycle)
+        return True
+
+    # ------------------------------------------------------------------
+    # Scheduling (FR-FCFS)
+    # ------------------------------------------------------------------
+    #
+    # The scheduling helpers double as the horizon computation: each returns
+    # ``None`` when it issued a command this cycle, and otherwise the
+    # earliest future cycle at which any of its queued requests could have a
+    # command issued.  Every bound uses only timers that move when commands
+    # issue (bank timers, rank tRRD/tFAW, data-bus occupancy) plus queue
+    # contents that only change at events, so a failed scan's horizon stays
+    # valid until the next event.
+    def _schedule(self, cycle: int) -> Optional[int]:
+        horizon = _NEVER
+        rank_activate = self.rank.next_activate_cycle()
+        # Victim refreshes have priority: they are the mitigation mechanism's
+        # correctness-critical work.
+        if self.victim_queue:
+            victim_horizon = self._issue_victim_refresh(cycle, rank_activate)
+            if victim_horizon is None:
+                return None
+            if victim_horizon < horizon:
+                horizon = victim_horizon
+        read_horizon = self._issue_from_queue(
+            self.read_queue, cycle, False, rank_activate
         )
+        if read_horizon is None:
+            return None
+        if read_horizon < horizon:
+            horizon = read_horizon
+        # Drain writes when there is no read work to do or the queue is deep.
+        drain_writes = (
+            not self.read_queue
+            or len(self.write_queue) >= self.config.write_queue_depth // 2
+        )
+        if drain_writes:
+            write_horizon = self._issue_from_queue(
+                self.write_queue, cycle, True, rank_activate
+            )
+            if write_horizon is None:
+                return None
+            if write_horizon < horizon:
+                horizon = write_horizon
+        return horizon
+
+    def _issue_victim_refresh(self, cycle: int, rank_activate: int) -> Optional[int]:
+        horizon = _NEVER
+        for index, request in enumerate(self.victim_queue):
+            bank = self.banks[request.bank]
+            if bank.open_row is not None:
+                if bank.can_precharge(cycle):
+                    bank.precharge(cycle)
+                    self._sync_bank(request.bank)
+                    self._read_hits[request.bank] = 0
+                    self._write_hits[request.bank] = 0
+                    return None
+                if bank.next_precharge < horizon:
+                    horizon = bank.next_precharge
+                continue
+            if bank.can_activate(cycle) and self.rank.can_activate(cycle):
+                # A victim refresh is an activate followed by a precharge; the
+                # bank is occupied for a full row cycle.
+                bank.activate(cycle, request.row)
+                self.rank.record_activate(cycle)
+                bank.block_until(cycle + self.timings.trc)
+                self._sync_bank(request.bank)
+                self.stats.mitigation_refreshes += 1
+                self.stats.mitigation_busy_cycles += self.timings.trc
+                request.complete(cycle + self.timings.trc)
+                self.victim_queue.pop(index)
+                if self.mitigation is not None:
+                    self.mitigation.on_victim_refreshed(request.bank, request.row, cycle)
+                if self.victim_refresh_hook is not None:
+                    self.victim_refresh_hook(request.bank, request.row, cycle)
+                return None
+            bound = bank.next_activate
+            if rank_activate > bound:
+                bound = rank_activate
+            if bound < horizon:
+                horizon = bound
+        return horizon
+
+    def _issue_from_queue(
+        self, queue: List[MemoryRequest], cycle: int, is_write: bool, rank_activate: int
+    ) -> Optional[int]:
+        if not queue:
+            return _NEVER
+        if is_write:
+            pending = self._write_pending
+            hits = self._write_hits
+            column_timers = self._bank_next_write
+        else:
+            pending = self._read_pending
+            hits = self._read_hits
+            column_timers = self._bank_next_read
+        open_rows = self._bank_open_row
+        activate_timers = self._bank_next_activate
+        precharge_timers = self._bank_next_precharge
+        bus_ready = self.rank.data_bus_ready_cycle()
+        bus_free = cycle >= bus_ready
+        # Classify every bank with queued work in one O(banks) pass:
+        #
+        # * a bank with pending hits either has a hit ready to issue now
+        #   (``hit_mask``) or yields the cycle its column access becomes
+        #   legal; its open row must not be precharged either way;
+        # * an open bank without hits is a conflict: precharge when legal
+        #   (``precharge_mask``), else bound by its precharge timer;
+        # * a closed bank activates when bank and rank allow
+        #   (``activate_mask``), else is bound by those timers.
+        horizon = _NEVER
+        hit_mask = 0
+        precharge_mask = 0
+        activate_mask = 0
+        rank_can_activate: Optional[bool] = None
+        for bank_index in range(len(pending)):
+            if not pending[bank_index]:
+                continue
+            if hits[bank_index]:
+                column_ready = column_timers[bank_index]
+                if bus_free and cycle >= column_ready:
+                    hit_mask |= 1 << bank_index
+                else:
+                    if bus_ready > column_ready:
+                        column_ready = bus_ready
+                    if column_ready < horizon:
+                        horizon = column_ready
+                continue
+            if open_rows[bank_index] is not None:
+                bound = precharge_timers[bank_index]
+                if cycle >= bound:
+                    precharge_mask |= 1 << bank_index
+                elif bound < horizon:
+                    horizon = bound
+                continue
+            if cycle >= activate_timers[bank_index]:
+                if rank_can_activate is None:
+                    rank_can_activate = self.rank.can_activate(cycle)
+                if rank_can_activate:
+                    activate_mask |= 1 << bank_index
+                    continue
+                bound = rank_activate
+            else:
+                bound = activate_timers[bank_index]
+                if rank_activate > bound:
+                    bound = rank_activate
+            if bound < horizon:
+                horizon = bound
+        # First ready: the oldest queued row hit among hit-ready banks.
+        if hit_mask:
+            for index, request in enumerate(queue):
+                if (hit_mask >> request.bank) & 1 and request.row == open_rows[request.bank]:
+                    self._issue_column(queue, index, cycle, is_write)
+                    return None
+        # Then oldest first: the oldest request whose bank can open or close
+        # a row right now.
+        if precharge_mask or activate_mask:
+            for request in queue:
+                bank_index = request.bank
+                if (precharge_mask >> bank_index) & 1:
+                    self.banks[bank_index].precharge(cycle)
+                    self._sync_bank(bank_index)
+                    # This pass's queue had no hits on the bank (that is what
+                    # allowed the precharge), but the other queue may have;
+                    # the bank is closed now, so neither has any.
+                    self._read_hits[bank_index] = 0
+                    self._write_hits[bank_index] = 0
+                    self.stats.row_conflicts += 1
+                    return None
+                if (activate_mask >> bank_index) & 1:
+                    self.banks[bank_index].activate(cycle, request.row)
+                    self._sync_bank(bank_index)
+                    self.rank.record_activate(cycle)
+                    self.stats.demand_activates += 1
+                    self.stats.demand_busy_cycles += self.timings.trc
+                    self._recount_hits(bank_index, request.row)
+                    self._notify_activation(bank_index, request.row, cycle)
+                    if self.activate_hook is not None:
+                        self.activate_hook(bank_index, request.row, cycle)
+                    return None
+        return horizon
+
+    def _recount_hits(self, bank_index: int, open_row: int) -> None:
+        """Refresh the per-bank hit counters after a bank opened ``open_row``."""
+        count = 0
+        for request in self.read_queue:
+            if request.bank == bank_index and request.row == open_row:
+                count += 1
+        self._read_hits[bank_index] = count
+        count = 0
+        for request in self.write_queue:
+            if request.bank == bank_index and request.row == open_row:
+                count += 1
+        self._write_hits[bank_index] = count
+
+    def _row_has_pending_hit(
+        self, bank_index: int, open_row: int, queue: List[MemoryRequest]
+    ) -> bool:
+        """Whether any queued request still targets the bank's open row."""
+        for request in queue:
+            if request.bank == bank_index and request.row == open_row:
+                return True
+        return False
 
     def _issue_column(
         self, queue: List[MemoryRequest], index: int, cycle: int, is_write: bool
     ) -> None:
         request = queue.pop(index)
+        self.wake_count += 1
+        if is_write:
+            self._write_pending[request.bank] -= 1
+            self._write_hits[request.bank] -= 1
+        else:
+            self._read_pending[request.bank] -= 1
+            self._read_hits[request.bank] -= 1
         bank = self.banks[request.bank]
         data_done = bank.column_access(cycle, is_write)
+        self._sync_bank(request.bank)
         self.rank.occupy_data_bus(cycle)
         self.stats.row_hits += 1
         self.stats.demand_busy_cycles += self.timings.burst_cycles
@@ -265,11 +606,14 @@ class MemoryController:
             return
         self.stats.reads_serviced += 1
         self._pending_completions.append((data_done, request))
+        if data_done < self.earliest_completion_cycle:
+            self.earliest_completion_cycle = data_done
 
-    def _complete_due(self, cycle: int) -> None:
-        if not self._pending_completions:
-            return
+    def _complete_due(self, cycle: int) -> bool:
+        if cycle < self.earliest_completion_cycle:
+            return False
         still_pending = []
+        earliest = _NEVER
         for done_cycle, request in self._pending_completions:
             if done_cycle <= cycle:
                 request.complete(cycle)
@@ -277,7 +621,135 @@ class MemoryController:
                 self.stats.read_latency_samples += 1
             else:
                 still_pending.append((done_cycle, request))
+                if done_cycle < earliest:
+                    earliest = done_cycle
+        completed = len(still_pending) < len(self._pending_completions)
         self._pending_completions = still_pending
+        self.earliest_completion_cycle = earliest
+        if completed:
+            self.wake_count += 1
+        return completed
+
+    # ------------------------------------------------------------------
+    # Event horizon
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest future cycle at which controller state can change.
+
+        Ticking the controller at any cycle in ``(cycle, horizon)`` is
+        guaranteed to complete no request, issue no command and trigger no
+        refresh, so an event-driven loop can jump directly to the horizon.
+        This is the *pure* (non-mutating) horizon oracle; the simulation loop
+        itself consumes the equivalent value a quiescent :meth:`tick` returns
+        as a byproduct of its failed scheduling scan, and
+        ``tests/sim/test_event_horizon.py`` pins the two implementations to
+        each other.  The computation folds in, exactly:
+
+        * the periodic refresh schedule (``_next_refresh``, which already
+          reflects a mitigation's increased refresh rate),
+        * pending read-data completions,
+        * per-request issue opportunities (bank timers, rank tRRD/tFAW, and
+          data-bus occupancy for every queued demand request and victim
+          refresh), and
+        * any autonomous mitigation timer
+          (:meth:`repro.mitigations.base.MitigationMechanism.next_event_cycle`).
+        """
+        floor = cycle + 1
+        horizon = self._next_refresh
+        if self.earliest_completion_cycle < horizon:
+            horizon = self.earliest_completion_cycle
+        if self.mitigation is not None:
+            timer = self.mitigation.next_event_cycle(cycle)
+            if timer is not None and timer < horizon:
+                horizon = timer
+        if horizon <= floor:
+            return floor
+        issue = self._next_issue_cycle(floor)
+        if issue < horizon:
+            horizon = issue
+        return horizon if horizon > floor else floor
+
+    def _next_issue_cycle(self, floor: int) -> int:
+        """Earliest cycle (at or after ``floor``) at which any queued request
+        could have a command issued for it.
+
+        Mirrors :meth:`_schedule` case by case; every per-request bound uses
+        only timers that move when commands issue, so the bound stays valid
+        until the next event.  Scheduling is suspended while an all-bank
+        refresh occupies the rank, so no issue can predate ``_refresh_until``.
+        """
+        base = self._refresh_until if self._refresh_until > floor else floor
+        horizon = self._next_refresh  # an issue opportunity always recurs by then
+        banks = self.banks
+        rank = self.rank
+        rank_activate = rank.next_activate_cycle()
+        for request in self.victim_queue:
+            bank = banks[request.bank]
+            if bank.open_row is not None:
+                ready = bank.next_precharge
+            else:
+                ready = bank.next_activate
+                if rank_activate > ready:
+                    ready = rank_activate
+            if ready < horizon:
+                if ready <= base:
+                    return base
+                horizon = ready
+        horizon = self._queue_issue_horizon(
+            self.read_queue, False, horizon, base, rank_activate
+        )
+        if horizon <= base:
+            return base
+        drain_writes = (
+            not self.read_queue
+            or len(self.write_queue) >= self.config.write_queue_depth // 2
+        )
+        if drain_writes:
+            horizon = self._queue_issue_horizon(
+                self.write_queue, True, horizon, base, rank_activate
+            )
+        return horizon if horizon > base else base
+
+    def _queue_issue_horizon(
+        self,
+        queue: List[MemoryRequest],
+        is_write: bool,
+        horizon: int,
+        base: int,
+        rank_activate: int,
+    ) -> int:
+        """Fold one demand queue's earliest issue opportunity into ``horizon``."""
+        if not queue:
+            return horizon
+        banks = self.banks
+        bus_ready = self.rank.data_bus_ready_cycle()
+        # Banks whose open row is still targeted by a queued request must not
+        # be precharged (the FR-FCFS pending-hit guard); precompute them once.
+        hit_banks = {
+            request.bank
+            for request in queue
+            if banks[request.bank].open_row == request.row
+        }
+        for request in queue:
+            bank = banks[request.bank]
+            open_row = bank.open_row
+            if open_row == request.row:
+                ready = bank.next_write if is_write else bank.next_read
+                if bus_ready > ready:
+                    ready = bus_ready
+            elif open_row is not None:
+                if request.bank in hit_banks:
+                    continue  # precharge blocked until the pending hits drain
+                ready = bank.next_precharge
+            else:
+                ready = bank.next_activate
+                if rank_activate > ready:
+                    ready = rank_activate
+            if ready < horizon:
+                if ready <= base:
+                    return base
+                horizon = ready
+        return horizon
 
     # ------------------------------------------------------------------
     # Mitigation integration

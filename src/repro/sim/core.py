@@ -10,6 +10,7 @@ core model used by Ramulator-based evaluations.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Sequence
@@ -17,6 +18,12 @@ from typing import Deque, List, Optional, Sequence
 from repro.sim.config import SystemConfig
 from repro.sim.requests import MemoryRequest, RequestType
 from repro.sim.trace import TraceRecord
+
+#: Sentinel horizon for a component that cannot act again until some other
+#: event wakes it (far beyond any simulated run).  Shared by the core (a
+#: stalled core waits for a completion or queue drain) and the controller
+#: (a queue with no timer-bound issue opportunity).
+NEVER = 1 << 62
 
 
 @dataclass
@@ -80,6 +87,11 @@ class SimpleCore:
         self._trace_index = 0
         self._bubbles_remaining = self.trace[0].bubble_instructions
         self._window: Deque[_WindowEntry] = deque()
+        #: Upper bound on CPU ticks the core receives per DRAM cycle; used to
+        #: convert a bubble budget into a safe DRAM-cycle horizon.
+        self._max_ticks_per_cycle = max(
+            1, int(math.ceil(config.cpu_cycles_per_dram_cycle))
+        )
 
     # ------------------------------------------------------------------
     # Trace stepping
@@ -94,10 +106,14 @@ class SimpleCore:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def tick(self, cycle: int) -> None:
+    def tick(self, cycle: int) -> bool:
         """Advance the core by one CPU cycle.
 
         ``cycle`` is the current DRAM cycle, used only to timestamp requests.
+        Returns whether the core retired or issued anything.  ``False``
+        implies the core is blocked on the memory system; since queues only
+        fill and completions only arrive between DRAM cycles, it will stay
+        blocked for every further CPU tick of the same DRAM cycle.
         """
         self.stats.cpu_cycles += 1
         self._retire()
@@ -148,6 +164,7 @@ class SimpleCore:
             self._advance_trace()
         if not made_progress:
             self.stats.stall_cycles += 1
+        return made_progress
 
     def _retire(self) -> None:
         """Retire completed reads from the head of the window (in order)."""
@@ -159,6 +176,125 @@ class SimpleCore:
         ):
             self._window.popleft()
             retired += 1
+
+    # ------------------------------------------------------------------
+    # Event-driven fast path
+    # ------------------------------------------------------------------
+    #
+    # Three tick patterns need no interaction with the memory controller and
+    # can therefore be applied in bulk, bit-identically to ticking:
+    #
+    # * ``"stall"`` -- the next instruction is a memory request the core
+    #   cannot issue (its queue is full, or the instruction window is full
+    #   with an incomplete head).  Queues only *fill* while cores run, and
+    #   completion flags only change inside ``MemoryController.tick``, so a
+    #   stall observed after the controller's tick holds for every remaining
+    #   CPU tick until the next controller event.
+    # * ``"bubble"`` -- the core has enough non-memory instructions buffered
+    #   to retire at full issue width for all requested ticks without
+    #   reaching a memory request.
+    # * ``"drain"`` -- the remaining bubbles run out within the requested
+    #   ticks, but the memory request behind them is blocked (same condition
+    #   as ``"stall"``), so the whole span retires the bubbles and then
+    #   stalls without ever reaching the controller.
+    #
+    # In every pattern each tick still retires completed reads from the
+    # window head (at most ``issue_width`` per tick), which the batched
+    # application (:meth:`fast_tick`, :meth:`settle_stall`) replays exactly.
+
+    def _record_blocked(self) -> bool:
+        """Whether the next memory request cannot be issued.
+
+        The blocking conditions (full queue, or full window with an
+        incomplete head) can only be cleared by a controller event, so a
+        blocked record stays blocked until the next wake.
+        """
+        record = self.trace[self._trace_index]
+        controller = self.controller
+        if record.is_write:
+            return len(controller.write_queue) >= self.config.write_queue_depth
+        if len(controller.read_queue) >= self.config.read_queue_depth:
+            return True
+        window = self._window
+        return len(window) >= self.config.instruction_window and not window[0].completed
+
+    def settle_stall(self, ticks: int) -> None:
+        """Apply ``ticks`` stalled CPU ticks in bulk.
+
+        Used by the event loop to settle deferred stall spans (and the tail
+        of a cycle once a tick made no progress).  Completion flags are
+        frozen while the controller is quiescent, so ``ticks`` calls to
+        ``_retire()`` pop exactly the run of completed entries at the window
+        head, capped at ``issue_width`` per tick.
+        """
+        stats = self.stats
+        stats.cpu_cycles += ticks
+        stats.stall_cycles += ticks
+        retire_cap = ticks * self.config.issue_width
+        window = self._window
+        popped = 0
+        while popped < retire_cap and window and window[0].completed:
+            window.popleft()
+            popped += 1
+
+    def fast_tick(self, ticks: int) -> Optional[str]:
+        """Classify and, when possible, batch-apply ``ticks`` CPU ticks.
+
+        Returns the batch mode applied (``"bubble"``, ``"stall"`` or
+        ``"drain"`` -- see the pattern notes above), or ``None`` when the
+        core would reach an issuable memory request and must be ticked
+        exactly.  This runs once per core per processed DRAM cycle, so the
+        classification and its application are fused into one call.
+        """
+        issue_width = self.config.issue_width
+        stats = self.stats
+        bubbles = self._bubbles_remaining
+        retire_cap = ticks * issue_width
+        if bubbles >= retire_cap:
+            self._bubbles_remaining = bubbles - retire_cap
+            stats.cpu_cycles += ticks
+            stats.instructions_retired += retire_cap
+            mode = "bubble"
+        else:
+            if not self._record_blocked():
+                return None
+            stats.cpu_cycles += ticks
+            if bubbles:
+                self._bubbles_remaining = 0
+                stats.instructions_retired += bubbles
+                progress_ticks = bubbles // issue_width
+                if bubbles - progress_ticks * issue_width:
+                    progress_ticks += 1
+                stats.stall_cycles += ticks - progress_ticks
+                mode = "drain"
+            else:
+                stats.stall_cycles += ticks
+                mode = "stall"
+        window = self._window
+        if window and window[0].completed:
+            popped = 0
+            while popped < retire_cap and window and window[0].completed:
+                window.popleft()
+                popped += 1
+        return mode
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """DRAM cycle before which this core is guaranteed not to interact
+        with the memory controller.
+
+        A core whose next memory request is blocked returns :data:`NEVER`
+        (only a controller event can wake it, and retiring leftover bubbles
+        never touches the controller); a core with ``n`` buffered bubble
+        instructions cannot reach its next memory request for
+        ``n // issue_width`` CPU ticks, which is converted into DRAM cycles
+        conservatively; an issuing core returns ``cycle + 1``.
+        """
+        if self._record_blocked():
+            return NEVER
+        if self._bubbles_remaining > 0:
+            safe_ticks = self._bubbles_remaining // self.config.issue_width
+            return cycle + 1 + safe_ticks // self._max_ticks_per_cycle
+        return cycle + 1
 
     @property
     def outstanding_reads(self) -> int:

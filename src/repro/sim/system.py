@@ -7,6 +7,25 @@ appropriate number of CPU cycles per DRAM cycle.  The result carries
 per-core IPCs and the controller's bandwidth accounting, from which the
 evaluation derives weighted speedup, normalized performance, and DRAM
 bandwidth overhead (Figure 10).
+
+Step modes
+----------
+The harness offers two bit-identical execution strategies selected by the
+``step_mode`` flag:
+
+* ``"cycle"`` -- the reference implementation: tick the controller and every
+  core at every single DRAM cycle.
+* ``"event"`` (default) -- the fast path: between events the system is
+  quiescent by construction, so the loop asks every component for its
+  ``next_event_cycle()`` horizon (the controller folds in bank/rank timers,
+  refresh, read completions and mitigation timers; each core reports when
+  its trace next injects a request) and jumps the clock straight to the
+  minimum.  Skipped cycles are accounted in bulk (CPU-cycle debt, stall
+  cycles, window retirement), and within processed cycles stalled or
+  bubble-retiring cores are batch-ticked.  Every counter in the resulting
+  :class:`SimulationResult` is bit-identical to ``"cycle"`` mode; the golden
+  regression suite (``tests/sim/test_golden_trace.py``) enforces this for
+  every mitigation mechanism.
 """
 
 from __future__ import annotations
@@ -20,6 +39,9 @@ from repro.sim.core import CoreStats, SimpleCore
 from repro.sim.metrics import bandwidth_overhead_percent, weighted_speedup
 from repro.sim.trace import TraceRecord
 from repro.sim.workloads import WorkloadMix
+
+#: Valid values of the ``step_mode`` flag.
+STEP_MODES = ("event", "cycle")
 
 
 @dataclass
@@ -59,6 +81,10 @@ class Simulation:
         "alone" runs used in weighted-speedup computation).
     mitigation:
         Optional RowHammer mitigation mechanism attached to the controller.
+    step_mode:
+        ``"event"`` (default) fast-forwards the clock between component
+        event horizons; ``"cycle"`` is the cycle-by-cycle reference
+        implementation.  Both produce bit-identical results.
     """
 
     def __init__(
@@ -66,9 +92,12 @@ class Simulation:
         config: SystemConfig,
         traces: Sequence[Sequence[TraceRecord]],
         mitigation=None,
+        step_mode: str = "event",
     ) -> None:
         if not traces:
             raise ValueError("at least one core trace is required")
+        if step_mode not in STEP_MODES:
+            raise ValueError(f"step_mode must be one of {STEP_MODES}, got {step_mode!r}")
         self.config = config
         self.controller = MemoryController(config, mitigation=mitigation)
         self.cores = [
@@ -76,21 +105,16 @@ class Simulation:
             for core_id, trace in enumerate(traces)
         ]
         self.mitigation = mitigation
+        self.step_mode = step_mode
 
     def run(self, dram_cycles: int) -> SimulationResult:
         """Run the system for a fixed number of DRAM cycles."""
         if dram_cycles <= 0:
             raise ValueError("dram_cycles must be positive")
-        cpu_ratio = self.config.cpu_cycles_per_dram_cycle
-        cpu_cycle_debt = 0.0
-        for cycle in range(dram_cycles):
-            self.controller.tick(cycle)
-            cpu_cycle_debt += cpu_ratio
-            ticks = int(cpu_cycle_debt)
-            cpu_cycle_debt -= ticks
-            for _ in range(ticks):
-                for core in self.cores:
-                    core.tick(cycle)
+        if self.step_mode == "cycle":
+            self._run_cycle_mode(dram_cycles)
+        else:
+            self._run_event_mode(dram_cycles)
         stats = self.controller.stats
         return SimulationResult(
             dram_cycles=dram_cycles,
@@ -102,6 +126,180 @@ class Simulation:
             mitigation_name=getattr(self.mitigation, "name", "none"),
         )
 
+    def _run_cycle_mode(self, dram_cycles: int) -> None:
+        """Reference implementation: tick every component at every DRAM cycle.
+
+        Uses :meth:`~repro.sim.controller.MemoryController.tick_reference`,
+        whose scheduling decisions come from plain queue scans over the
+        ``BankState`` objects -- independent of the incremental bookkeeping
+        the event-driven fast path relies on -- so comparing the two modes
+        validates that machinery end to end.
+        """
+        cpu_ratio = self.config.cpu_cycles_per_dram_cycle
+        cpu_cycle_debt = 0.0
+        for cycle in range(dram_cycles):
+            self.controller.tick_reference(cycle)
+            cpu_cycle_debt += cpu_ratio
+            ticks = int(cpu_cycle_debt)
+            cpu_cycle_debt -= ticks
+            for _ in range(ticks):
+                for core in self.cores:
+                    core.tick(cycle)
+
+    def _run_event_mode(self, dram_cycles: int) -> None:
+        """Event-driven fast path, bit-identical to :meth:`_run_cycle_mode`.
+
+        After processing a cycle, every component reports the earliest future
+        cycle at which it could act (``next_event_cycle``); the clock jumps
+        to the minimum.  The CPU-cycle debt accumulator is advanced with the
+        exact float operations of the reference loop so tick counts match
+        bit-for-bit, and each skipped core applies its ticks in bulk
+        (:meth:`~repro.sim.core.SimpleCore.fast_tick`).  Within a processed
+        cycle, cores that provably cannot interact with the controller this
+        cycle (stalled, or retiring buffered bubbles at full width) are
+        batch-ticked as well; the rest tick exactly, in original
+        interleaving order.  Stalled cores enter *deferred stall*: their
+        ticks change nothing but their own cycle counters, so the accounting
+        is settled lazily -- at the next wake event (a completion or queue
+        pop can unstall them), just before a tick that will complete reads
+        (retirement replay needs the pre-completion window flags), or at the
+        end of the run.
+        """
+        controller = self.controller
+        controller_tick = controller.tick
+        cores = self.cores
+        core_items = list(enumerate(cores))
+        core_count = len(cores)
+        cpu_ratio = self.config.cpu_cycles_per_dram_cycle
+        cpu_cycle_debt = 0.0
+        cycle = 0
+        slow_cores: List[SimpleCore] = []
+        deferred = [False] * core_count
+        deferred_count = 0
+        synced_ticks = [0] * core_count
+        tick_total = 0
+        last_wake = controller.wake_count
+
+        def settle_deferred() -> None:
+            """Apply every deferred core's accumulated stall ticks."""
+            nonlocal deferred_count
+            for index in range(core_count):
+                if deferred[index]:
+                    lag = tick_total - synced_ticks[index]
+                    if lag:
+                        cores[index].settle_stall(lag)
+                    deferred[index] = False
+            deferred_count = 0
+
+        while cycle < dram_cycles:
+            if deferred_count and cycle >= controller.earliest_completion_cycle:
+                # This tick will complete reads, setting window flags that
+                # feed retirement.  Deferred stall time must be settled with
+                # the *pre-completion* flags to replay retirement exactly.
+                settle_deferred()
+            # A quiescent controller tick returns its event horizon; ``None``
+            # means an event fired, so the next cycle must be processed.
+            controller_horizon = controller_tick(cycle)
+            wake = controller.wake_count
+            if wake != last_wake:
+                # A read completed or a queue drained: stalled cores may
+                # wake.  Settle them so the tick phase reclassifies.
+                last_wake = wake
+                if deferred_count:
+                    settle_deferred()
+            cpu_cycle_debt += cpu_ratio
+            ticks = int(cpu_cycle_debt)
+            cpu_cycle_debt -= ticks
+            if ticks:
+                tick_total += ticks
+                slow_cores.clear()
+                enqueues_before = controller.enqueue_count
+                for index, core in core_items:
+                    if deferred[index]:
+                        continue
+                    mode = core.fast_tick(ticks)
+                    if mode is None:
+                        slow_cores.append(core)
+                    elif mode != "bubble":
+                        # Entering deferred stall (a "drain" leaves the core
+                        # stalled too): ticks are current as of now;
+                        # everything later settles lazily.
+                        deferred[index] = True
+                        deferred_count += 1
+                        synced_ticks[index] = tick_total
+                if slow_cores:
+                    # Tick-major over the interacting cores, exactly as the
+                    # reference loop.  A core whose tick made no progress is
+                    # blocked for the rest of this DRAM cycle (queues only
+                    # fill, completions only arrive between cycles), so its
+                    # remaining ticks are batched as stalls.
+                    for tick_index in range(ticks):
+                        if not slow_cores:
+                            break
+                        rest = ticks - tick_index - 1
+                        retained = 0
+                        for core in slow_cores:
+                            if core.tick(cycle) or not rest:
+                                slow_cores[retained] = core
+                                retained += 1
+                            else:
+                                core.settle_stall(rest)
+                        del slow_cores[retained:]
+                    if controller.enqueue_count != enqueues_before:
+                        # Cores injected requests this cycle, invalidating the
+                        # horizon the controller reported before they ran.
+                        controller_horizon = None
+            next_cycle = cycle + 1
+            if next_cycle >= dram_cycles:
+                break
+            if controller_horizon is None:
+                cycle = next_cycle
+                continue
+            # Event horizon: the earliest cycle any core injects work or the
+            # controller completes, issues, or refreshes anything.  A core in
+            # deferred stall cannot act before the next wake event, so its
+            # horizon needs no recomputation.
+            horizon = controller_horizon if controller_horizon < dram_cycles else dram_cycles
+            if horizon > next_cycle:
+                for index, core in core_items:
+                    if deferred[index]:
+                        continue
+                    core_horizon = core.next_event_cycle(cycle)
+                    if core_horizon < horizon:
+                        horizon = core_horizon
+                        if horizon <= next_cycle:
+                            break
+            if horizon > next_cycle:
+                # Fast-forward: account the skipped span in bulk.  The debt
+                # accumulator replays the reference loop's float arithmetic.
+                total_ticks = 0
+                for _ in range(horizon - next_cycle):
+                    cpu_cycle_debt += cpu_ratio
+                    skipped_ticks = int(cpu_cycle_debt)
+                    cpu_cycle_debt -= skipped_ticks
+                    total_ticks += skipped_ticks
+                if total_ticks:
+                    tick_total += total_ticks
+                    # Every core is batchable across the span: the horizon
+                    # guarantees it (a stalled core cannot wake without a
+                    # controller event; a bubble core's horizon bounds the
+                    # span by its remaining bubble budget).
+                    for index, core in core_items:
+                        if deferred[index]:
+                            continue
+                        if core.fast_tick(total_ticks) != "bubble":
+                            deferred[index] = True
+                            deferred_count += 1
+                            synced_ticks[index] = tick_total
+                # The reference loop's last skipped tick would have recorded
+                # this cycle count.
+                controller.stats.cycles = horizon
+                cycle = horizon
+            else:
+                cycle = next_cycle
+        # Settle any remaining deferred stall time before reporting results.
+        settle_deferred()
+
 
 def run_workload(
     config: SystemConfig,
@@ -110,6 +308,7 @@ def run_workload(
     requests_per_core: int = 4_000,
     mitigation=None,
     seed: int = 0,
+    step_mode: str = "event",
 ) -> SimulationResult:
     """Convenience wrapper: build traces for a mix and run it."""
     traces = mix.build_traces(
@@ -119,7 +318,7 @@ def run_workload(
         requests_per_core=requests_per_core,
         seed=seed,
     )
-    simulation = Simulation(config, traces, mitigation=mitigation)
+    simulation = Simulation(config, traces, mitigation=mitigation, step_mode=step_mode)
     return simulation.run(dram_cycles)
 
 
@@ -129,6 +328,7 @@ def run_alone_ipcs(
     dram_cycles: int = 20_000,
     requests_per_core: int = 4_000,
     seed: int = 0,
+    step_mode: str = "event",
 ) -> List[float]:
     """Per-benchmark alone IPCs (each benchmark run on the system by itself).
 
@@ -144,7 +344,7 @@ def run_alone_ipcs(
     )
     alone_ipcs: List[float] = []
     for trace in traces:
-        simulation = Simulation(config, [trace], mitigation=None)
+        simulation = Simulation(config, [trace], mitigation=None, step_mode=step_mode)
         result = simulation.run(dram_cycles)
         alone_ipcs.append(result.core_ipcs[0])
     return alone_ipcs
