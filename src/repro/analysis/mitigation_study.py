@@ -144,6 +144,26 @@ class MitigationStudyConfig:
             raise ValueError("num_mixes must be at least 1")
 
 
+@dataclass(frozen=True)
+class FullMitigationStudyConfig(MitigationStudyConfig):
+    """Paper-scale Figure 10 preset: the full 48-mix evaluation.
+
+    Section 6 of the paper evaluates every mechanism over 48 randomly
+    mixed 8-core workloads; this preset reproduces that axis in full (the
+    quick ``fig10-mitigations`` default samples 4 mixes) on the Table 6
+    geometry, with simulations 2.5x longer than the quick preset so every
+    run crosses several refresh intervals.  Designed to be executed through
+    a cached :class:`repro.experiments.session.ExperimentSession` -- the
+    sweep is a single population-level study result, so a completed run is
+    replayed from the store in milliseconds.
+    """
+
+    num_mixes: int = 48
+    rows_per_bank: int = 16384
+    dram_cycles: int = 50_000
+    requests_per_core: int = 8_000
+
+
 @register_study("fig10-mitigations", config=MitigationStudyConfig, requires_chip=False)
 def run_mitigation_study_for_config(
     _chip: None, config: MitigationStudyConfig
@@ -165,6 +185,16 @@ def run_mitigation_study_for_config(
         time_scale=config.time_scale,
         step_mode=config.step_mode,
     )
+
+
+@register_study(
+    "fig10-mitigations-full", config=FullMitigationStudyConfig, requires_chip=False
+)
+def run_full_mitigation_study(
+    _chip: None, config: FullMitigationStudyConfig
+) -> "MitigationStudyResult":
+    """Figure 10 at paper scale: all 48 workload mixes, Table 6 geometry."""
+    return run_mitigation_study_for_config(_chip, config)
 
 
 def run_mitigation_study(

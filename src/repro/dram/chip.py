@@ -263,7 +263,7 @@ class DramChip:
         self._exposure[(bank, wordline)] = 0.0
         self.stats.row_writes += 1
 
-    def fill_bank(self, bank: int, victim_byte: int, aggressor_byte: int = None) -> None:
+    def fill_bank(self, bank: int, victim_byte: int, aggressor_byte: Optional[int] = None) -> None:
         """Write every row of a bank with a repeated byte pattern.
 
         When ``aggressor_byte`` is given, rows alternate between the victim

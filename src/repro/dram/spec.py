@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
 
 class DramType(enum.Enum):
@@ -71,7 +71,7 @@ class DramTypeSpec:
         """Row size in bits."""
         return self.row_bytes * 8
 
-    def max_hammers_in_refresh_window(self, refresh_window_ms: float = None) -> int:
+    def max_hammers_in_refresh_window(self, refresh_window_ms: Optional[float] = None) -> int:
         """Maximum double-sided hammer count that fits in one refresh window.
 
         One hammer is one activation to each of the two aggressor rows, so a

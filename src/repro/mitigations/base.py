@@ -135,29 +135,59 @@ class MitigationMechanism(ABC):
         """Scaling applied to tREFI (< 1 refreshes more often, 1 = nominal)."""
         return 1.0
 
+    # ------------------------------------------------------------------
+    # Autonomous timers (the event-registration API)
+    # ------------------------------------------------------------------
+    def register_events(self, port) -> None:
+        """Called once when the mechanism is attached to a controller.
+
+        ``port`` is a
+        :class:`repro.sim.controller.MitigationEventPort`: a mechanism that
+        schedules autonomous work (say, a background scrubber) keeps a
+        reference and calls ``port.schedule_timer(cycle)``; the controller
+        then dispatches :meth:`on_timer` at that cycle in **both** step
+        modes and folds the timer into every event horizon, so the
+        event-driven fast-forward can never jump over it.  The timer is
+        one-shot: re-arm it from inside :meth:`on_timer` for periodic work.
+
+        All evaluated mechanisms act only inside :meth:`on_activate` and
+        :meth:`on_refresh` -- both of which fire at controller events that
+        are already part of the horizon (PARA draws its RNG per activation,
+        TWiCe advances its table epochs and ProHIT/MRLoc pop their queues
+        per refresh command) -- so the default registers nothing.
+        """
+
+    def on_timer(self, cycle: int) -> List[Tuple[int, int]]:
+        """Dispatched when a timer registered through ``register_events``
+        fires; may return (bank, row) victim rows to refresh and re-arm the
+        timer through the retained port."""
+        return []
+
+    def has_autonomous_timer_poll(self) -> bool:
+        """Whether the controller must keep polling the legacy
+        :meth:`next_event_cycle` hook on every horizon computation.
+
+        This is the compat shim for pre-port mechanisms: overriding
+        :meth:`next_event_cycle` is detected here, so such mechanisms keep
+        working unchanged, while the (much more common) mechanisms without
+        autonomous timers cost nothing on the horizon path.
+        """
+        return type(self).next_event_cycle is not MitigationMechanism.next_event_cycle
+
     def next_event_cycle(self, cycle: int) -> Optional[int]:
-        """Earliest future cycle at which the mechanism acts *on its own*.
+        """Legacy polling hook: earliest future cycle at which the mechanism
+        acts *on its own*.
 
-        The event-driven simulation loop folds this into the memory
-        controller's horizon (see
-        :meth:`repro.sim.controller.MemoryController.next_event_cycle`)
-        before fast-forwarding the clock.  All evaluated mechanisms act only
-        inside :meth:`on_activate` and :meth:`on_refresh` -- both of which
-        fire at controller events that are already part of the horizon (PARA
-        draws its RNG per activation, TWiCe advances its table epochs and
-        ProHIT/MRLoc pop their queues per refresh command), so the default
-        is ``None`` ("no autonomous timer").
-
-        The contract is precisely "do not fast-forward past this cycle": the
-        returned cycle is guaranteed to be *processed* (the controller ticks
-        at it), but nothing dispatches into the mechanism there, because no
-        such autonomous mechanism exists yet.  A future mechanism that
-        schedules work at cycles of its own choosing (e.g. a background
-        scrubber) must both override this -- returning ``None`` or a past
-        cycle while holding a live timer would let the fast-forward jump
-        over it -- and add a controller dispatch path that actually invokes
-        it at the timer cycle, in ``tick`` *and* ``tick_reference`` so both
-        step modes stay bit-identical.
+        Superseded by the event-registration API (:meth:`register_events` /
+        :meth:`on_timer`), which new autonomous mechanisms should prefer --
+        a registered timer is dispatched by the controller in both step
+        modes, whereas this hook only guarantees the returned cycle is
+        *processed* and leaves the dispatch to the mechanism's other hooks.
+        Mechanisms that override it are still polled on every horizon
+        computation (see :meth:`has_autonomous_timer_poll`), with the same
+        contract as before: the event-driven loop will not fast-forward
+        past the returned cycle.  The default of ``None`` means "no
+        autonomous timer".
         """
         return None
 

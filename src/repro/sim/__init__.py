@@ -1,4 +1,4 @@
-"""Cycle-level DDR4 memory-system simulator with an event-driven fast path.
+"""Cycle-level DDR4 memory-system simulator with an event-queue fast path.
 
 This package replaces the paper's Ramulator + SPEC CPU2006 setup (Table 6)
 with a pure-Python equivalent:
@@ -6,9 +6,12 @@ with a pure-Python equivalent:
 * :mod:`repro.sim.config` -- the simulated system configuration (Table 6).
 * :mod:`repro.sim.timing` -- DDR4 timing parameters in DRAM-bus cycles.
 * :mod:`repro.sim.requests` -- memory requests and their life cycle.
+* :mod:`repro.sim.events` -- the indexed :class:`~repro.sim.events.EventQueue`
+  (schedule / reschedule / cancel, deterministic FIFO tie-breaking) the
+  event-driven run loop drains.
 * :mod:`repro.sim.bank` -- per-bank and per-rank timing state machines.
 * :mod:`repro.sim.controller` -- FR-FCFS memory controller with refresh and
-  RowHammer-mitigation hooks.
+  RowHammer-mitigation hooks, scheduling over indexed per-bank buckets.
 * :mod:`repro.sim.core` -- the simple out-of-order-window core model.
 * :mod:`repro.sim.trace` -- synthetic memory-access trace generation.
 * :mod:`repro.sim.workloads` -- SPEC-like benchmark profiles and the 8-core
@@ -25,36 +28,64 @@ step modes:
   and every core at every DRAM cycle, scheduling by scanning the request
   queues directly.  It is the oracle the fast path is validated against
   (``tests/sim/test_golden_trace.py``).
-* ``step_mode="event"`` (default) -- the event-driven fast path.  All state
+* ``step_mode="event"`` (default) -- the event-queue fast path.  All state
   changes happen at *events*: command issues, read-data completions,
-  periodic refreshes, and trace injections by the cores.  Each component
-  exposes a ``next_event_cycle()`` horizon -- :class:`~repro.sim.bank.BankState`
-  offers the bank-level primitive over its command timers (the controller
-  computes tighter per-request bounds from mirrored copies of the same
-  timers), :class:`~repro.sim.controller.MemoryController` folds those
-  bounds with rank constraints, the refresh schedule, pending completions
-  and any mitigation timer, and :class:`~repro.sim.core.SimpleCore` reports
-  its bubble budget and stall state -- and the loop jumps the clock straight
-  to the minimum, accounting the skipped cycles in bulk.
+  periodic refreshes, mitigation timers, and trace injections by the cores.
+  The run loop is keyed on one :class:`~repro.sim.events.EventQueue`:
 
-Adding a mitigation timer to the horizon
+  - The **memory controller**'s horizon is the byproduct of its quiescent
+    tick.  Scheduling state is *indexed*, not scanned: per-bank FIFOs,
+    per-(bank, row) hit buckets and flat head-of-index sequence mirrors
+    give the FR-FCFS choice (and, on a failed scan, the earliest future
+    issue opportunity) in O(banks with work), with no queue scans.  Bank
+    and rank timer changes are pushed into flat mirrors at mutation time
+    (:meth:`~repro.sim.controller.MemoryController._sync_bank`) rather
+    than re-polled, and the quiet-horizon cache is lowered incrementally
+    when cores enqueue new work instead of being thrown away.
+  - Every **core** owns a *wake entry* in the queue: a lower bound on the
+    next cycle it could interact with the memory system.  Entries are
+    revalidated lazily when they surface below a prospective jump target,
+    so cores deep in bubble budgets or long stalls are not re-polled each
+    step.  Blocked cores carry no entry at all; the controller's wake
+    *channels* (write-queue pop, read-queue pop, per-core read completion)
+    revive exactly the cores the wake can unblock.
+
+  The loop jumps the clock to the earliest confirmed event and accounts the
+  skipped span in bulk (exact CPU-debt replay; batched stall/bubble/drain
+  core ticks; deferred-stall settling flushed before the completions that
+  could change window retirement).  Every counter in the resulting
+  :class:`~repro.sim.system.SimulationResult` is bit-identical to
+  ``"cycle"`` mode; the golden regression suite enforces this for every
+  mitigation mechanism.
+
+How a mitigation registers a timer event
 ----------------------------------------
-Mechanisms that act only inside ``on_activate``/``on_refresh`` need no extra
-work: activations and refresh commands are already events.  A mechanism that
-schedules autonomous work at a cycle of its own choosing (say, a background
-scrubber) must override
-:meth:`repro.mitigations.base.MitigationMechanism.next_event_cycle` to
-return that cycle; the controller folds it into every horizon it reports,
-so the fast-forward can never jump over the timer.  The hook guarantees the
-timer cycle is processed, not that the mechanism is invoked there -- an
-autonomous mechanism also needs a dispatch path in the controller's ``tick``
-and ``tick_reference`` (see the hook's docstring).
+Mechanisms that act only inside ``on_activate``/``on_refresh`` need no
+extra work: activations and refresh commands are already events.  A
+mechanism that schedules autonomous work at cycles of its own choosing
+(say, a background scrubber) overrides
+:meth:`repro.mitigations.base.MitigationMechanism.register_events`, keeps
+the :class:`~repro.sim.controller.MitigationEventPort` it receives, and
+calls ``port.schedule_timer(cycle)``; the controller then dispatches
+:meth:`~repro.mitigations.base.MitigationMechanism.on_timer` at that cycle
+in **both** step modes and folds the timer into every event horizon, so the
+fast-forward can never jump over it.  Re-arm the (one-shot) timer from
+inside ``on_timer`` for periodic work.
+
+The legacy route -- overriding
+:meth:`~repro.mitigations.base.MitigationMechanism.next_event_cycle` -- is
+still honoured through a compat shim: such mechanisms are detected at
+attach time and polled on every horizon computation, with the old contract
+(the returned cycle is processed, dispatch is the mechanism's own
+responsibility).  New code should prefer the port API: it is cheaper (no
+per-tick poll) and the controller owns the dispatch.
 """
 
 from repro.sim.config import SystemConfig
 from repro.sim.timing import DramTimings, DDR4_2400
 from repro.sim.requests import MemoryRequest, RequestType
-from repro.sim.controller import MemoryController, ControllerStats
+from repro.sim.events import EventQueue, EventQueueStats, NEVER
+from repro.sim.controller import ControllerStats, MemoryController, MitigationEventPort
 from repro.sim.core import SimpleCore
 from repro.sim.trace import SyntheticTraceGenerator, TraceRecord
 from repro.sim.workloads import BenchmarkProfile, SPEC_LIKE_BENCHMARKS, make_workload_mixes
@@ -67,8 +98,12 @@ __all__ = [
     "DDR4_2400",
     "MemoryRequest",
     "RequestType",
+    "EventQueue",
+    "EventQueueStats",
+    "NEVER",
     "MemoryController",
     "ControllerStats",
+    "MitigationEventPort",
     "SimpleCore",
     "SyntheticTraceGenerator",
     "TraceRecord",

@@ -15,7 +15,7 @@ from typing import Deque, Optional
 from repro.sim.timing import DramTimings
 
 
-@dataclass
+@dataclass(slots=True)
 class BankState:
     """Timing state of one DRAM bank."""
 
@@ -112,7 +112,7 @@ class BankState:
         return min(self.next_precharge, self.next_read, self.next_write)
 
 
-@dataclass
+@dataclass(slots=True)
 class RankState:
     """Rank-level constraints shared by all banks: tRRD, tFAW and the data bus."""
 

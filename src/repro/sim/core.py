@@ -16,17 +16,14 @@ from dataclasses import dataclass, field
 from typing import Deque, List, Optional, Sequence
 
 from repro.sim.config import SystemConfig
+from repro.sim.events import NEVER
 from repro.sim.requests import MemoryRequest, RequestType
 from repro.sim.trace import TraceRecord
 
-#: Sentinel horizon for a component that cannot act again until some other
-#: event wakes it (far beyond any simulated run).  Shared by the core (a
-#: stalled core waits for a completion or queue drain) and the controller
-#: (a queue with no timer-bound issue opportunity).
-NEVER = 1 << 62
+__all__ = ["NEVER", "CoreStats", "SimpleCore"]
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Cumulative statistics for one core."""
 
@@ -87,21 +84,22 @@ class SimpleCore:
         self._trace_index = 0
         self._bubbles_remaining = self.trace[0].bubble_instructions
         self._window: Deque[_WindowEntry] = deque()
+        #: Which resource blocked the core's next memory request the last
+        #: time :meth:`_record_blocked` returned ``True``: ``0`` = write
+        #: queue full, ``1`` = read queue full, ``2`` = instruction window
+        #: full with an incomplete head.  The event loop settles a deferred
+        #: core only when its channel's wake actually fires.
+        self.blocked_channel = -1
         #: Upper bound on CPU ticks the core receives per DRAM cycle; used to
         #: convert a bubble budget into a safe DRAM-cycle horizon.
         self._max_ticks_per_cycle = max(
             1, int(math.ceil(config.cpu_cycles_per_dram_cycle))
         )
-
-    # ------------------------------------------------------------------
-    # Trace stepping
-    # ------------------------------------------------------------------
-    def _advance_trace(self) -> None:
-        self._trace_index = (self._trace_index + 1) % len(self.trace)
-        self._bubbles_remaining = self.trace[self._trace_index].bubble_instructions
-
-    def _current_record(self) -> TraceRecord:
-        return self.trace[self._trace_index]
+        # Cached hot config scalars (attribute chains cost on the tick path).
+        self._issue_width = config.issue_width
+        self._window_limit = config.instruction_window
+        self._read_depth = config.read_queue_depth
+        self._write_depth = config.write_queue_depth
 
     # ------------------------------------------------------------------
     # Execution
@@ -115,19 +113,34 @@ class SimpleCore:
         fill and completions only arrive between DRAM cycles, it will stay
         blocked for every further CPU tick of the same DRAM cycle.
         """
-        self.stats.cpu_cycles += 1
-        self._retire()
+        stats = self.stats
+        issue_width = self._issue_width
+        stats.cpu_cycles += 1
+        window = self._window
+        if window and window[0].completed:
+            retired = 0
+            while retired < issue_width and window and window[0].completed:
+                window.popleft()
+                retired += 1
         issued = 0
         made_progress = False
-        while issued < self.config.issue_width:
-            if self._bubbles_remaining > 0:
-                self._bubbles_remaining -= 1
-                self.stats.instructions_retired += 1
-                issued += 1
+        trace = self.trace
+        while issued < issue_width:
+            bubbles = self._bubbles_remaining
+            if bubbles > 0:
+                # Retire the run of buffered non-memory instructions in one
+                # step (arithmetic-identical to retiring them one per loop
+                # iteration).
+                take = issue_width - issued
+                if take > bubbles:
+                    take = bubbles
+                self._bubbles_remaining = bubbles - take
+                stats.instructions_retired += take
+                issued += take
                 made_progress = True
                 continue
             # The next instruction is a memory request.
-            record = self._current_record()
+            record = trace[self._trace_index]
             if record.is_write:
                 request = MemoryRequest(
                     request_type=RequestType.WRITE,
@@ -138,9 +151,9 @@ class SimpleCore:
                 )
                 if not self.controller.enqueue(request, cycle):
                     break  # write queue full; retry next cycle
-                self.stats.memory_writes_issued += 1
+                stats.memory_writes_issued += 1
             else:
-                if len(self._window) >= self.config.instruction_window:
+                if len(window) >= self._window_limit:
                     break  # the window is full of outstanding reads
                 entry = _WindowEntry()
                 request = MemoryRequest(
@@ -155,27 +168,35 @@ class SimpleCore:
                 )
                 if not self.controller.enqueue(request, cycle):
                     break  # read queue full; retry next cycle
-                self._window.append(entry)
-                self.stats.memory_reads_issued += 1
+                window.append(entry)
+                stats.memory_reads_issued += 1
             # The memory instruction itself counts as one retired instruction.
-            self.stats.instructions_retired += 1
+            stats.instructions_retired += 1
             issued += 1
             made_progress = True
-            self._advance_trace()
+            self._trace_index = next_index = (self._trace_index + 1) % len(trace)
+            self._bubbles_remaining = trace[next_index].bubble_instructions
         if not made_progress:
-            self.stats.stall_cycles += 1
+            stats.stall_cycles += 1
         return made_progress
 
-    def _retire(self) -> None:
-        """Retire completed reads from the head of the window (in order)."""
-        retired = 0
-        while (
-            self._window
-            and self._window[0].completed
-            and retired < self.config.issue_width
-        ):
-            self._window.popleft()
-            retired += 1
+    def run_ticks(self, cycle: int, ticks: int) -> None:
+        """Apply ``ticks`` exact CPU ticks at one DRAM cycle (lone-core path).
+
+        Replays the reference interleaving for a core running alone: tick
+        until a tick makes no progress, then batch the remaining ticks of
+        the DRAM cycle as stalls -- queues only fill and completions only
+        arrive between DRAM cycles, so a blocked core stays blocked for the
+        rest of the cycle.  Used by the event loop for single-core
+        (alone-IPC) runs, where the multi-core tick-major interleaving
+        collapses to a plain loop over this one core.
+        """
+        for index in range(ticks):
+            if not self.tick(cycle):
+                rest = ticks - index - 1
+                if rest:
+                    self.settle_stall(rest)
+                return
 
     # ------------------------------------------------------------------
     # Event-driven fast path
@@ -207,16 +228,25 @@ class SimpleCore:
 
         The blocking conditions (full queue, or full window with an
         incomplete head) can only be cleared by a controller event, so a
-        blocked record stays blocked until the next wake.
+        blocked record stays blocked until the matching wake channel fires
+        (recorded in :attr:`blocked_channel`): a write-queue pop, a
+        read-queue pop, or a completion of one of this core's own reads.
         """
         record = self.trace[self._trace_index]
         controller = self.controller
         if record.is_write:
-            return len(controller.write_queue) >= self.config.write_queue_depth
-        if len(controller.read_queue) >= self.config.read_queue_depth:
+            if controller.write_len >= self._write_depth:
+                self.blocked_channel = 0
+                return True
+            return False
+        if controller.read_len >= self._read_depth:
+            self.blocked_channel = 1
             return True
         window = self._window
-        return len(window) >= self.config.instruction_window and not window[0].completed
+        if len(window) >= self._window_limit and not window[0].completed:
+            self.blocked_channel = 2
+            return True
+        return False
 
     def settle_stall(self, ticks: int) -> None:
         """Apply ``ticks`` stalled CPU ticks in bulk.
@@ -230,7 +260,7 @@ class SimpleCore:
         stats = self.stats
         stats.cpu_cycles += ticks
         stats.stall_cycles += ticks
-        retire_cap = ticks * self.config.issue_width
+        retire_cap = ticks * self._issue_width
         window = self._window
         popped = 0
         while popped < retire_cap and window and window[0].completed:
@@ -246,7 +276,7 @@ class SimpleCore:
         exactly.  This runs once per core per processed DRAM cycle, so the
         classification and its application are fused into one call.
         """
-        issue_width = self.config.issue_width
+        issue_width = self._issue_width
         stats = self.stats
         bubbles = self._bubbles_remaining
         retire_cap = ticks * issue_width
@@ -288,12 +318,37 @@ class SimpleCore:
         instructions cannot reach its next memory request for
         ``n // issue_width`` CPU ticks, which is converted into DRAM cycles
         conservatively; an issuing core returns ``cycle + 1``.
+
+        This is the *polling* horizon: it is only valid until the next
+        controller event (a wake can unblock the core).  A persistent event
+        entry must use :meth:`wake_bound` instead.
         """
         if self._record_blocked():
             return NEVER
         if self._bubbles_remaining > 0:
-            safe_ticks = self._bubbles_remaining // self.config.issue_width
+            safe_ticks = self._bubbles_remaining // self._issue_width
             return cycle + 1 + safe_ticks // self._max_ticks_per_cycle
+        return cycle + 1
+
+    def wake_bound(self, cycle: int) -> int:
+        """Wake-entry bound: like :meth:`next_event_cycle` but valid *across*
+        controller wake events.
+
+        A blocked core still holding buffered bubbles reports its bubble
+        bound rather than :data:`NEVER`: a wake may unblock it mid-bubble
+        without any loop-visible core transition (it never stalls, so it is
+        never deferred and no wake reschedules it), and the bubble bound is
+        a valid lower bound either way -- the bubbles must drain before the
+        core can reach the controller.  Only a blocked core with no bubbles
+        reports :data:`NEVER` (its next classification is a stall, so the
+        unblocking wake event itself revives its entry).  The event loop
+        keys the :class:`~repro.sim.events.EventQueue` entries on this.
+        """
+        if self._bubbles_remaining > 0:
+            safe_ticks = self._bubbles_remaining // self._issue_width
+            return cycle + 1 + safe_ticks // self._max_ticks_per_cycle
+        if self._record_blocked():
+            return NEVER
         return cycle + 1
 
     @property

@@ -24,7 +24,7 @@ class RequestType(enum.Enum):
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """One memory request.
 
@@ -52,6 +52,15 @@ class MemoryRequest:
     completion_callback: Optional[Callable[[int], None]] = None
     request_id: int = field(default_factory=lambda: next(_request_ids))
     completed_cycle: Optional[int] = None
+    #: Controller-local arrival sequence number, assigned at enqueue time.
+    #: FR-FCFS "oldest first" compares these, so scheduling never depends on
+    #: the process-global ``request_id`` counter.
+    seq: int = 0
+    #: Set when the controller has issued the request's column access and
+    #: removed it from its live queues.  Indexed scheduling structures keep
+    #: issued requests as lazy tombstones; readers skip entries with this
+    #: flag instead of paying for eager mid-queue deletion.
+    popped: bool = False
 
     @property
     def is_read(self) -> bool:

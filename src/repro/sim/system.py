@@ -16,13 +16,15 @@ The harness offers two bit-identical execution strategies selected by the
 * ``"cycle"`` -- the reference implementation: tick the controller and every
   core at every single DRAM cycle.
 * ``"event"`` (default) -- the fast path: between events the system is
-  quiescent by construction, so the loop asks every component for its
-  ``next_event_cycle()`` horizon (the controller folds in bank/rank timers,
-  refresh, read completions and mitigation timers; each core reports when
-  its trace next injects a request) and jumps the clock straight to the
-  minimum.  Skipped cycles are accounted in bulk (CPU-cycle debt, stall
-  cycles, window retirement), and within processed cycles stalled or
-  bubble-retiring cores are batch-ticked.  Every counter in the resulting
+  quiescent by construction, so the loop is keyed on an indexed
+  :class:`~repro.sim.events.EventQueue`.  The controller's horizon (bank and
+  rank timers, refresh, read completions, mitigation timers) is the
+  byproduct of its quiescent tick; every core owns a *wake entry* in the
+  queue that is revalidated lazily when it surfaces, instead of being
+  re-polled each step.  The loop jumps the clock to the earliest confirmed
+  event, accounting skipped cycles in bulk (CPU-cycle debt, stall cycles,
+  window retirement); within processed cycles stalled or bubble-retiring
+  cores are batch-ticked.  Every counter in the resulting
   :class:`SimulationResult` is bit-identical to ``"cycle"`` mode; the golden
   regression suite (``tests/sim/test_golden_trace.py``) enforces this for
   every mitigation mechanism.
@@ -36,6 +38,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.sim.config import SystemConfig
 from repro.sim.controller import ControllerStats, MemoryController
 from repro.sim.core import CoreStats, SimpleCore
+from repro.sim.events import EventQueue
 from repro.sim.metrics import bandwidth_overhead_percent, weighted_speedup
 from repro.sim.trace import TraceRecord
 from repro.sim.workloads import WorkloadMix
@@ -106,6 +109,9 @@ class Simulation:
         ]
         self.mitigation = mitigation
         self.step_mode = step_mode
+        #: Core wake-event queue driving the event-mode run loop (empty and
+        #: unused in cycle mode); its ``stats`` feed the simulator benchmark.
+        self.event_queue = EventQueue()
 
     def run(self, dram_cycles: int) -> SimulationResult:
         """Run the system for a fixed number of DRAM cycles."""
@@ -149,27 +155,44 @@ class Simulation:
     def _run_event_mode(self, dram_cycles: int) -> None:
         """Event-driven fast path, bit-identical to :meth:`_run_cycle_mode`.
 
-        After processing a cycle, every component reports the earliest future
-        cycle at which it could act (``next_event_cycle``); the clock jumps
-        to the minimum.  The CPU-cycle debt accumulator is advanced with the
-        exact float operations of the reference loop so tick counts match
-        bit-for-bit, and each skipped core applies its ticks in bulk
+        The loop drains the simulation's :class:`~repro.sim.events.EventQueue`
+        instead of polling components.  The controller's horizon is the
+        byproduct of its quiescent tick (or, after cores enqueue mid-cycle,
+        the incrementally maintained quiet bound); each core owns a wake
+        entry in the queue holding a *lower bound* on the next cycle it
+        could interact with the memory system.  Entries are revalidated
+        lazily: when one surfaces below a prospective jump target, the
+        core's horizon is recomputed once and the entry moved, so cores far
+        from their next interaction (deep bubble budgets, long stalls) are
+        never re-polled.  A blocked core's entry is dropped entirely and
+        revived by the wake event that can unblock it.
+
+        The clock then jumps to the earliest confirmed event.  The CPU-cycle
+        debt accumulator is advanced with the exact float operations of the
+        reference loop so tick counts match bit-for-bit, and each skipped
+        core applies its ticks in bulk
         (:meth:`~repro.sim.core.SimpleCore.fast_tick`).  Within a processed
         cycle, cores that provably cannot interact with the controller this
         cycle (stalled, or retiring buffered bubbles at full width) are
         batch-ticked as well; the rest tick exactly, in original
-        interleaving order.  Stalled cores enter *deferred stall*: their
-        ticks change nothing but their own cycle counters, so the accounting
-        is settled lazily -- at the next wake event (a completion or queue
-        pop can unstall them), just before a tick that will complete reads
-        (retirement replay needs the pre-completion window flags), or at the
-        end of the run.
+        interleaving order (a lone core collapses to
+        :meth:`~repro.sim.core.SimpleCore.run_ticks`).  Stalled cores enter
+        *deferred stall*: their ticks change nothing but their own cycle
+        counters, so the accounting is settled lazily -- and selectively,
+        per wake *channel*: a write-queue pop settles only write-blocked
+        cores, a read-queue pop only read-blocked ones, and a read
+        completion settles exactly the owning cores just before the tick
+        that fires it (retirement replay needs the pre-completion window
+        flags); everyone else stays deferred until its own channel fires or
+        the run ends.
         """
         controller = self.controller
         controller_tick = controller.tick
         cores = self.cores
         core_items = list(enumerate(cores))
         core_count = len(cores)
+        lone_core = cores[0] if core_count == 1 else None
+        events = self.event_queue
         cpu_ratio = self.config.cpu_cycles_per_dram_cycle
         cpu_cycle_debt = 0.0
         cycle = 0
@@ -178,95 +201,179 @@ class Simulation:
         deferred_count = 0
         synced_ticks = [0] * core_count
         tick_total = 0
-        last_wake = controller.wake_count
+        last_read_pops = controller.read_pops
+        last_write_pops = controller.write_pops
+        #: Non-deferred cores in index order (the reference interleaving);
+        #: rebuilt whenever the deferred set changes.
+        active_items = list(core_items)
+        for index in range(core_count):
+            events.schedule(index, 0)
+
+        def settle_core(index: int) -> None:
+            """Un-defer one core, applying its accumulated stall ticks.
+
+            The core gets its wake entry back, conservatively at the current
+            cycle: normally the very next tick phase reclassifies it anyway
+            (re-deferring it or re-registering a fresh entry), but on a
+            processed cycle that carries zero CPU ticks (possible when the
+            CPU is clocked slower than the DRAM bus) the tick phase is
+            skipped, and without an entry a later jump could batch the core
+            across a span it must be ticked exactly in."""
+            nonlocal deferred_count
+            lag = tick_total - synced_ticks[index]
+            if lag:
+                cores[index].settle_stall(lag)
+            deferred[index] = False
+            deferred_count -= 1
+            events.schedule(index, cycle)
+
+        def rebuild_active() -> None:
+            """Recompute the index-ordered non-deferred core list."""
+            active_items[:] = [item for item in core_items if not deferred[item[0]]]
+
+        def settle_channel(channel: int) -> None:
+            """Settle the deferred cores blocked on one wake channel."""
+            settled = False
+            for index in range(core_count):
+                if deferred[index] and cores[index].blocked_channel == channel:
+                    settle_core(index)
+                    settled = True
+            if settled:
+                rebuild_active()
 
         def settle_deferred() -> None:
             """Apply every deferred core's accumulated stall ticks."""
-            nonlocal deferred_count
             for index in range(core_count):
                 if deferred[index]:
-                    lag = tick_total - synced_ticks[index]
-                    if lag:
-                        cores[index].settle_stall(lag)
-                    deferred[index] = False
-            deferred_count = 0
+                    settle_core(index)
+            active_items[:] = core_items
 
         while cycle < dram_cycles:
             if deferred_count and cycle >= controller.earliest_completion_cycle:
                 # This tick will complete reads, setting window flags that
-                # feed retirement.  Deferred stall time must be settled with
-                # the *pre-completion* flags to replay retirement exactly.
-                settle_deferred()
+                # feed retirement.  Exactly the owning cores' deferred stall
+                # time must be settled with the *pre-completion* flags to
+                # replay retirement bit-exactly; other cores' windows are
+                # untouched by the completions and may stay lazy.
+                settled = False
+                for core_id in controller.due_completion_cores(cycle):
+                    if core_id >= 0 and deferred[core_id]:
+                        settle_core(core_id)
+                        settled = True
+                if settled:
+                    rebuild_active()
             # A quiescent controller tick returns its event horizon; ``None``
             # means an event fired, so the next cycle must be processed.
             controller_horizon = controller_tick(cycle)
-            wake = controller.wake_count
-            if wake != last_wake:
-                # A read completed or a queue drained: stalled cores may
-                # wake.  Settle them so the tick phase reclassifies.
-                last_wake = wake
-                if deferred_count:
-                    settle_deferred()
+            if deferred_count:
+                # Queue-pop wakes, per channel: a drained write queue can
+                # only unblock write-blocked cores, a drained read queue
+                # read-blocked ones.  Settle them so the tick phase
+                # reclassifies; everyone else stays lazily deferred.
+                pops = controller.write_pops
+                if pops != last_write_pops:
+                    last_write_pops = pops
+                    settle_channel(0)
+                pops = controller.read_pops
+                if pops != last_read_pops:
+                    last_read_pops = pops
+                    settle_channel(1)
+            else:
+                last_write_pops = controller.write_pops
+                last_read_pops = controller.read_pops
             cpu_cycle_debt += cpu_ratio
             ticks = int(cpu_cycle_debt)
             cpu_cycle_debt -= ticks
             if ticks:
                 tick_total += ticks
-                slow_cores.clear()
                 enqueues_before = controller.enqueue_count
-                for index, core in core_items:
-                    if deferred[index]:
-                        continue
-                    mode = core.fast_tick(ticks)
-                    if mode is None:
-                        slow_cores.append(core)
-                    elif mode != "bubble":
-                        # Entering deferred stall (a "drain" leaves the core
-                        # stalled too): ticks are current as of now;
-                        # everything later settles lazily.
-                        deferred[index] = True
-                        deferred_count += 1
-                        synced_ticks[index] = tick_total
-                if slow_cores:
-                    # Tick-major over the interacting cores, exactly as the
-                    # reference loop.  A core whose tick made no progress is
-                    # blocked for the rest of this DRAM cycle (queues only
-                    # fill, completions only arrive between cycles), so its
-                    # remaining ticks are batched as stalls.
-                    for tick_index in range(ticks):
-                        if not slow_cores:
-                            break
-                        rest = ticks - tick_index - 1
-                        retained = 0
-                        for core in slow_cores:
-                            if core.tick(cycle) or not rest:
-                                slow_cores[retained] = core
-                                retained += 1
-                            else:
-                                core.settle_stall(rest)
-                        del slow_cores[retained:]
-                    if controller.enqueue_count != enqueues_before:
-                        # Cores injected requests this cycle, invalidating the
-                        # horizon the controller reported before they ran.
-                        controller_horizon = None
+                if lone_core is not None:
+                    # Single-core (alone-IPC) runs: no tick-major
+                    # interleaving to respect, so an interacting core runs
+                    # its whole DRAM cycle in one call.
+                    if not deferred[0]:
+                        mode = lone_core.fast_tick(ticks)
+                        if mode is None:
+                            lone_core.run_ticks(cycle, ticks)
+                            if 0 not in events:
+                                events.schedule(0, cycle + 1)
+                        elif mode != "bubble":
+                            deferred[0] = True
+                            deferred_count = 1
+                            synced_ticks[0] = tick_total
+                            active_items[:] = []
+                else:
+                    slow_cores.clear()
+                    rebuild = False
+                    for index, core in active_items:
+                        mode = core.fast_tick(ticks)
+                        if mode is None:
+                            slow_cores.append(core)
+                            if index not in events:
+                                # An interacting core must stay visible to
+                                # the jump logic (it may have been dropped
+                                # while blocked).
+                                events.schedule(index, cycle + 1)
+                        elif mode != "bubble":
+                            # Entering deferred stall (a "drain" leaves the
+                            # core stalled too): ticks are current as of now;
+                            # everything later settles lazily.  The stale
+                            # wake entry is discarded lazily when it pops.
+                            deferred[index] = True
+                            deferred_count += 1
+                            synced_ticks[index] = tick_total
+                            rebuild = True
+                    if rebuild:
+                        rebuild_active()
+                    if slow_cores:
+                        # Tick-major over the interacting cores, exactly as
+                        # the reference loop.  A core whose tick made no
+                        # progress is blocked for the rest of this DRAM cycle
+                        # (queues only fill, completions only arrive between
+                        # cycles), so its remaining ticks are batched as
+                        # stalls.
+                        for tick_index in range(ticks):
+                            if not slow_cores:
+                                break
+                            rest = ticks - tick_index - 1
+                            retained = 0
+                            for core in slow_cores:
+                                if core.tick(cycle) or not rest:
+                                    slow_cores[retained] = core
+                                    retained += 1
+                                else:
+                                    core.settle_stall(rest)
+                            del slow_cores[retained:]
+                if controller.enqueue_count != enqueues_before:
+                    # Cores injected requests this cycle.  Each enqueue
+                    # folded its own bank-local bound into the controller's
+                    # quiet horizon, so the updated bound replaces the one
+                    # reported before the cores ran.
+                    controller_horizon = controller.post_enqueue_horizon(cycle)
             next_cycle = cycle + 1
             if next_cycle >= dram_cycles:
                 break
             if controller_horizon is None:
                 cycle = next_cycle
                 continue
-            # Event horizon: the earliest cycle any core injects work or the
-            # controller completes, issues, or refreshes anything.  A core in
-            # deferred stall cannot act before the next wake event, so its
-            # horizon needs no recomputation.
             horizon = controller_horizon if controller_horizon < dram_cycles else dram_cycles
             if horizon > next_cycle:
-                for index, core in core_items:
+                # Drain core wake entries below the prospective jump target,
+                # revalidating each against its core's current horizon.  A
+                # deferred core's entry is simply discarded (its wake event
+                # will reschedule it); a confirmed earlier wake tightens the
+                # jump.
+                while True:
+                    head = events.peek_cycle()
+                    if head >= horizon:
+                        break
+                    index = events.pop()[1]
                     if deferred[index]:
                         continue
-                    core_horizon = core.next_event_cycle(cycle)
+                    core_horizon = cores[index].wake_bound(cycle)
+                    events.schedule(index, core_horizon)
                     if core_horizon < horizon:
-                        horizon = core_horizon
+                        horizon = core_horizon if core_horizon > next_cycle else next_cycle
                         if horizon <= next_cycle:
                             break
             if horizon > next_cycle:
@@ -280,17 +387,20 @@ class Simulation:
                     total_ticks += skipped_ticks
                 if total_ticks:
                     tick_total += total_ticks
-                    # Every core is batchable across the span: the horizon
-                    # guarantees it (a stalled core cannot wake without a
-                    # controller event; a bubble core's horizon bounds the
-                    # span by its remaining bubble budget).
-                    for index, core in core_items:
-                        if deferred[index]:
-                            continue
+                    # Every core is batchable across the span: the queue
+                    # guarantees it (every live wake entry is at or beyond
+                    # the horizon, a deferred or entry-less core is blocked
+                    # until a controller event, and a bubble core's entry
+                    # bounds the span by its remaining bubble budget).
+                    rebuild = False
+                    for index, core in active_items:
                         if core.fast_tick(total_ticks) != "bubble":
                             deferred[index] = True
                             deferred_count += 1
                             synced_ticks[index] = tick_total
+                            rebuild = True
+                    if rebuild:
+                        rebuild_active()
                 # The reference loop's last skipped tick would have recorded
                 # this cycle count.
                 controller.stats.cycles = horizon

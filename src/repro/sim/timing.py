@@ -3,6 +3,12 @@
 The simulator ticks once per DRAM bus cycle.  The parameter values follow
 the DDR4-2400 speed bin, which matches the modules in the paper's DDR4
 population (appendix Table 7) and the tRC of roughly 46 ns the paper quotes.
+
+These parameters feed the per-bank and per-rank timer state machines in
+:mod:`repro.sim.bank`; every command issue *pushes* the resulting timer
+expiries into the memory controller's flat per-bank index (see
+``MemoryController._sync_bank``), which is what lets the event-driven run
+loop treat timer expiry as a scheduled event rather than something to poll.
 """
 
 from __future__ import annotations
@@ -10,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DramTimings:
     """DRAM timing parameters (in DRAM bus cycles unless noted).
 

@@ -47,7 +47,12 @@ def _quantile(sorted_values: Sequence[float], q: float) -> float:
     lower = int(math.floor(position))
     upper = int(math.ceil(position))
     fraction = position - lower
-    return float(sorted_values[lower] * (1 - fraction) + sorted_values[upper] * fraction)
+    low = float(sorted_values[lower])
+    high = float(sorted_values[upper])
+    # Clamp: rounding in the interpolation (e.g. with subnormal inputs) must
+    # never push a quantile outside the bracketing samples, or quantiles of
+    # the same data could come out non-monotone.
+    return min(max(low * (1 - fraction) + high * fraction, low), high)
 
 
 def box_stats(values: Sequence[float]) -> BoxStats:

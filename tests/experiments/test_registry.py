@@ -26,6 +26,7 @@ BUILTIN_STUDIES = (
     "fig8-hcfirst",
     "fig9-ecc-words",
     "fig10-mitigations",
+    "fig10-mitigations-full",
     "table5-flip-probability",
 )
 
@@ -83,6 +84,22 @@ class TestRegistry:
 
     def test_population_study_flagged(self):
         assert not get_study("fig10-mitigations").requires_chip
+
+    def test_full_fig10_preset_is_paper_scale(self):
+        """The paper-scale preset defaults to the full 48-mix evaluation."""
+        spec = get_study("fig10-mitigations-full")
+        assert not spec.requires_chip
+        config = spec.default_config()
+        assert isinstance(config, spec.config_cls)
+        assert config.num_mixes == 48
+        assert config.rows_per_bank == 16384
+        assert config.dram_cycles > 20_000
+        # A distinct config type means a distinct cache identity, so the
+        # full study never collides with the quick preset in a store.
+        from repro.analysis.mitigation_study import MitigationStudyConfig
+        from repro.experiments.study import config_digest
+
+        assert config_digest(config) != config_digest(MitigationStudyConfig())
 
     def test_default_config_is_config_cls_instance(self):
         spec = get_study("fig5-hc-sweep")

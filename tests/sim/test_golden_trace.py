@@ -121,6 +121,29 @@ class TestGoldenTraces:
             reference, fast = run_both(GOLDEN_SYSTEM, [trace])
             assert_bit_identical(reference, fast)
 
+    def test_slow_cpu_golden(self):
+        """A CPU clocked below the DRAM bus (ratio < 1) stays bit-identical.
+
+        Some processed DRAM cycles then carry zero CPU ticks, so the tick
+        phase is skipped entirely: a core settled on such a cycle must still
+        be covered by a wake entry, or the jump logic could batch it across
+        a span it has to be ticked exactly in (regression test for exactly
+        that hole)."""
+        config = SystemConfig(
+            cores=4,
+            cpu_freq_ghz=0.5,
+            banks=8,
+            rows_per_bank=512,
+            read_queue_depth=24,
+            write_queue_depth=24,
+        )
+        assert config.cpu_cycles_per_dram_cycle < 1
+        traces = build_traces(config)
+        reference, fast = run_both(config, traces)
+        assert_bit_identical(reference, fast)
+        reference, fast = run_both(config, traces, mitigation_name="PARA", hcfirst=512)
+        assert_bit_identical(reference, fast)
+
     def test_attacker_trace_golden(self):
         """A RowHammer attacker plus a background core, with PARA active."""
         attacker = AggressorTraceGenerator(
@@ -151,27 +174,63 @@ class TestGoldenTraces:
         assert reference.controller_stats.refresh_commands > 0
 
     def test_internal_bookkeeping_consistent_after_event_run(self):
-        """The fast path's incremental counters must equal scan-derived truth."""
+        """The fast path's indexed structures must equal scan-derived truth."""
         traces = build_traces(GOLDEN_SYSTEM)
         simulation = Simulation(GOLDEN_SYSTEM, traces, step_mode="event")
         simulation.run(GOLDEN_CYCLES)
         controller = simulation.controller
+        live_reads = controller.queued_reads()
+        live_writes = controller.queued_writes()
+        assert controller.read_len == len(live_reads)
+        assert controller.write_len == len(live_writes)
+        from repro.sim.events import NEVER
+
+        stride = controller._row_stride
         for bank_index, bank in enumerate(controller.banks):
             assert controller._bank_open_row[bank_index] == bank.open_row
             assert controller._bank_next_activate[bank_index] == bank.next_activate
             assert controller._bank_next_precharge[bank_index] == bank.next_precharge
             assert controller._bank_next_read[bank_index] == bank.next_read
             assert controller._bank_next_write[bank_index] == bank.next_write
-            reads = [r for r in controller.read_queue if r.bank == bank_index]
-            writes = [w for w in controller.write_queue if w.bank == bank_index]
+            reads = [r for r in live_reads if r.bank == bank_index]
+            writes = [w for w in live_writes if w.bank == bank_index]
             assert controller._read_pending[bank_index] == len(reads)
             assert controller._write_pending[bank_index] == len(writes)
-            assert controller._read_hits[bank_index] == sum(
-                1 for r in reads if r.row == bank.open_row
+            read_hits = [r for r in reads if r.row == bank.open_row]
+            write_hits = [w for w in writes if w.row == bank.open_row]
+            assert controller._read_hits[bank_index] == len(read_hits)
+            assert controller._write_hits[bank_index] == len(write_hits)
+            # Per-bank FIFOs hold each bank's live requests in arrival order.
+            fifo_reads = [r for r in controller._read_fifo[bank_index] if not r.popped]
+            fifo_writes = [w for w in controller._write_fifo[bank_index] if not w.popped]
+            assert fifo_reads == reads
+            assert fifo_writes == writes
+            # Head-of-index sequence mirrors name the oldest live request and
+            # the oldest live hit of each bank.
+            assert controller._read_head_seq[bank_index] == (
+                reads[0].seq if reads else NEVER
             )
-            assert controller._write_hits[bank_index] == sum(
-                1 for w in writes if w.row == bank.open_row
+            assert controller._write_head_seq[bank_index] == (
+                writes[0].seq if writes else NEVER
             )
+            assert controller._read_hit_seq[bank_index] == (
+                read_hits[0].seq if read_hits else NEVER
+            )
+            assert controller._write_hit_seq[bank_index] == (
+                write_hits[0].seq if write_hits else NEVER
+            )
+        # Row buckets and their live counts agree with a full queue scan.
+        for queue, rows, counts in (
+            (live_reads, controller._read_rows, controller._read_row_count),
+            (live_writes, controller._write_rows, controller._write_row_count),
+        ):
+            by_key = {}
+            for request in queue:
+                by_key.setdefault(request.bank * stride + request.row, []).append(request)
+            for key, bucket in rows.items():
+                live = [r for r in bucket if not r.popped]
+                assert live == by_key.get(key, [])
+                assert counts.get(key, 0) == len(live)
 
 
 @pytest.mark.slow
