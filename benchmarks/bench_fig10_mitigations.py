@@ -12,35 +12,53 @@ The sweep runs on the event-driven simulator fast path (the default
 ``step_mode``), which is bit-identical to the cycle-by-cycle reference --
 see ``tests/sim/test_golden_trace.py`` and ``benchmarks/bench_sim_speed.py``
 for the equivalence and speedup evidence.
+
+The study executes *sharded* through an :class:`repro.ExperimentSession`:
+one work unit per workload-mix baseline and per (mechanism, HC_first, mix)
+cell, cached individually in a :class:`repro.ResultStore` -- the timed run
+is the fresh sharded sweep, and a replay afterwards asserts the unit cache
+reproduces it bit-identically without executing a single unit.
 """
 
 from conftest import print_banner
 
-from repro.analysis.mitigation_study import run_mitigation_study
+from repro.analysis.mitigation_study import MitigationStudyConfig
 from repro.analysis.report import format_table
-from repro.sim.config import SystemConfig
-from repro.sim.workloads import make_workload_mixes
+from repro.experiments import ExperimentSession, ResultStore
 
 HCFIRST_SWEEP = (200_000, 50_000, 25_600, 6_400, 2_000, 1_024, 256, 128, 64)
 MECHANISMS = ("IncreasedRefresh", "PARA", "ProHIT", "MRLoc", "TWiCe", "TWiCe-ideal", "Ideal")
 
 
 def test_fig10_mitigation_scaling(benchmark):
-    config = SystemConfig(rows_per_bank=4096)
-    mixes = make_workload_mixes(num_mixes=3, cores=config.cores, seed=11)
+    config = MitigationStudyConfig(
+        hcfirst_values=HCFIRST_SWEEP,
+        mechanisms=MECHANISMS,
+        num_mixes=3,
+        rows_per_bank=4096,
+        dram_cycles=10_000,
+        requests_per_core=2_500,
+        seed=5,
+    )
+    store = ResultStore()  # in-memory: cache shared by the replay below
 
     def run():
-        return run_mitigation_study(
-            system_config=config,
-            workload_mixes=mixes,
-            hcfirst_values=HCFIRST_SWEEP,
-            mechanisms=MECHANISMS,
-            dram_cycles=10_000,
-            requests_per_core=2_500,
-            seed=5,
-        )
+        return ExperimentSession(store=store, seed=5).run("fig10-mitigations", config)
 
-    study = benchmark.pedantic(run, rounds=1, iterations=1)
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    study = outcome.single()
+
+    # The sweep really ran sharded: every (mechanism, HC_first, mix) cell
+    # plus one baseline per mix is its own cached work unit...
+    assert outcome.units_total == outcome.executed > len(study.points)
+    # ...and a replayed session merges the identical payload from the unit
+    # cache without executing anything.
+    replay = ExperimentSession(store=store, seed=5).run("fig10-mitigations", config)
+    assert replay.executed == 0
+    assert replay.cache_hits == outcome.units_total
+    assert [p.to_dict() for p in replay.single().points] == [
+        p.to_dict() for p in study.points
+    ]
 
     print_banner("Figure 10a: DRAM bandwidth overhead of RowHammer mitigation (%)")
     rows = []

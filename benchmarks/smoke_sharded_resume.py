@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""CI smoke for sharded study execution: run, kill cache subset, resume.
+
+Exercises the crash-recovery contract of the work-unit layer end to end on
+a small simulator-backed Figure 10 config:
+
+1. **run** -- a fresh sharded sweep through a disk-backed
+   :class:`repro.ResultStore` (every work unit cached individually),
+2. **kill** -- delete a subset of the unit cache entries, simulating a
+   crash that lost part of the work,
+3. **resume** -- a new session over the same store directory must
+   re-execute exactly the killed units and merge a payload bit-identical
+   to the uninterrupted run.
+
+Writes ``BENCH_shard.json`` (unit-cache stats and wall-clock times) next
+to ``BENCH_sim.json`` so the golden CI job can upload both.  Exits
+non-zero on any contract violation.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/smoke_sharded_resume.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.mitigation_study import MitigationStudyConfig
+from repro.experiments import ExperimentSession, ResultStore
+
+#: Small but multi-mechanism, multi-mix config so the kill set spans
+#: baselines and cells of different mechanisms.
+SMOKE_CONFIG = MitigationStudyConfig(
+    hcfirst_values=(2_000, 256),
+    mechanisms=("PARA", "ProHIT", "Ideal"),
+    num_mixes=2,
+    rows_per_bank=512,
+    dram_cycles=2_000,
+    requests_per_core=400,
+    seed=3,
+)
+
+#: How many unit cache entries the "crash" loses.
+KILL_COUNT = 3
+
+
+def points_of(outcome):
+    return [point.to_dict() for point in outcome.single().points]
+
+
+def main() -> int:
+    store_root = Path(tempfile.mkdtemp(prefix="shard-smoke-")) / "store"
+    report = {"study": "fig10-mitigations", "kill_count": KILL_COUNT}
+
+    started = time.perf_counter()
+    fresh = ExperimentSession(store=ResultStore(store_root), seed=3).run(
+        "fig10-mitigations", SMOKE_CONFIG
+    )
+    report["fresh_wall_s"] = round(time.perf_counter() - started, 3)
+    report["units_total"] = fresh.units_total
+    report["fresh_executed"] = fresh.executed
+    reference = points_of(fresh)
+
+    store = ResultStore(store_root)
+    unit_files = store.entry_paths("fig10-mitigations", units_only=True)
+    report["unit_cache_entries"] = len(unit_files)
+    assert len(unit_files) == fresh.units_total, (
+        f"expected {fresh.units_total} unit cache entries, found {len(unit_files)}"
+    )
+    for path in unit_files[:: max(1, len(unit_files) // KILL_COUNT)][:KILL_COUNT]:
+        path.unlink()
+    killed = fresh.units_total - len(
+        store.entry_paths("fig10-mitigations", units_only=True)
+    )
+    report["killed"] = killed
+
+    started = time.perf_counter()
+    resume_store = ResultStore(store_root)
+    resumed = ExperimentSession(store=resume_store, seed=3).run(
+        "fig10-mitigations", SMOKE_CONFIG
+    )
+    report["resume_wall_s"] = round(time.perf_counter() - started, 3)
+    report["resume_executed"] = resumed.executed
+    report["resume_cache_hits"] = resumed.cache_hits
+    report["resume_store_stats"] = {
+        "hits": resume_store.stats.hits,
+        "misses": resume_store.stats.misses,
+        "puts": resume_store.stats.puts,
+    }
+    report["resume_identical"] = points_of(resumed) == reference
+
+    assert resumed.executed == killed, (
+        f"resume executed {resumed.executed} units, expected exactly the "
+        f"{killed} killed ones"
+    )
+    assert resumed.cache_hits == fresh.units_total - killed
+    assert report["resume_identical"], "resumed payload differs from fresh run"
+
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_shard.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nsharded-resume smoke OK -> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

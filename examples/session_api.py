@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """The ``repro.experiments`` session API end to end.
 
-This example shows the four moves the orchestration layer is built around:
+This example shows the five moves the orchestration layer is built around:
 
 1. **register** -- define a new study as a config dataclass plus a
    ``run(chip, config)`` function; one decorator makes it a first-class
@@ -12,6 +12,11 @@ This example shows the four moves the orchestration layer is built around:
    bit-identical results from a process pool, and
 4. **cached rerun** -- attach a :class:`repro.ResultStore` and watch the
    second run replay from disk without a single chip activation.
+5. **decompose** -- declare a *sharded* study: a ``decompose`` enumerating
+   independent :class:`repro.WorkUnit` shards of the grid, a ``unit_runner``
+   executing one shard, and a deterministic ``merge``.  Sessions then cache
+   every shard individually, so a crashed sweep resumes from its completed
+   units and an edited grid replays everything it did not touch.
 
 Run with::
 
@@ -26,6 +31,7 @@ from repro import (
     ExperimentSession,
     ParallelExecutor,
     ResultStore,
+    WorkUnit,
     list_studies,
     register_study,
 )
@@ -54,6 +60,63 @@ def run_victim_flips(chip, config):
         bank=0, victim_row=config.victim_row, hammer_count=config.hammer_count
     )
     return {"chip": chip.chip_id, "flips": result.num_bit_flips}
+
+
+# ----------------------------------------------------------------------
+# 5. Register a *decomposable* study: a hammer-count sweep where every
+#    count is its own work unit -- independently executed, independently
+#    cached, merged in decomposition order.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlipSweepConfig:
+    """A grid of hammer counts to shard across work units."""
+
+    hammer_counts: tuple = (40_000, 80_000, 120_000)
+    victim_row: int = GEOMETRY.rows_per_bank // 2
+
+
+def decompose_flip_sweep(config):
+    """One unit per hammer count.  Per the WorkUnit cache contract, params
+    carry every config field the unit's payload depends on."""
+    return [
+        WorkUnit(
+            study="demo-flip-sweep",
+            unit_id=f"hc{hammer_count}",
+            params={"hammer_count": hammer_count, "victim_row": config.victim_row},
+        )
+        for hammer_count in config.hammer_counts
+    ]
+
+
+def run_flip_sweep_unit(chip, config, unit):
+    """Execute one shard: hammer the victim at the unit's count."""
+    params = unit.param_dict
+    result = DoubleSidedHammer(chip).hammer_victim(
+        bank=0, victim_row=params["victim_row"], hammer_count=params["hammer_count"]
+    )
+    return (params["hammer_count"], result.num_bit_flips)
+
+
+def merge_flip_sweep(config, payloads):
+    """Deterministic merge: payloads arrive in decomposition order."""
+    return dict(payloads)
+
+
+@register_study(
+    "demo-flip-sweep",
+    config=FlipSweepConfig,
+    decompose=decompose_flip_sweep,
+    unit_runner=run_flip_sweep_unit,
+    merge=merge_flip_sweep,
+)
+def run_flip_sweep(chip, config):
+    """Monolithic reference: the same sweep in one loop."""
+    return {
+        hammer_count: DoubleSidedHammer(chip)
+        .hammer_victim(bank=0, victim_row=config.victim_row, hammer_count=hammer_count)
+        .num_bit_flips
+        for hammer_count in config.hammer_counts
+    }
 
 
 def main() -> None:
@@ -101,6 +164,34 @@ def main() -> None:
     assert second.cache_hits == len(session.chips)
     assert activations == 0
     assert second.payloads() == first.payloads()
+
+    # ------------------------------------------------------------------
+    # 5. Sharded study: per-unit caching and crash resume.
+    # ------------------------------------------------------------------
+    store_root = tempfile.mkdtemp(prefix="repro-shard-store-")
+    chip = session.chips[0]
+    sweep_session = ExperimentSession(chip, store=ResultStore(store_root), seed=42)
+    sweep = sweep_session.run("demo-flip-sweep")
+    print(
+        f"\nsharded sweep: {sweep.executed} work units executed "
+        f"({sweep.units_total} total) -> {sweep.single()}"
+    )
+
+    # Simulate a crash that lost one unit's cache entry, then resume: only
+    # the missing unit re-executes and the merged payload is identical.
+    shard_store = ResultStore(store_root)
+    unit_files = shard_store.entry_paths("demo-flip-sweep", units_only=True)
+    unit_files[0].unlink()
+    resumed = ExperimentSession(chip, store=ResultStore(store_root), seed=42).run(
+        "demo-flip-sweep"
+    )
+    print(
+        f"resume after losing 1 unit entry: {resumed.executed} executed, "
+        f"{resumed.cache_hits} replayed from cache"
+    )
+    assert resumed.executed == 1
+    assert resumed.cache_hits == sweep.units_total - 1
+    assert resumed.single() == sweep.single()
 
 
 if __name__ == "__main__":

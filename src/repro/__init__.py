@@ -69,6 +69,7 @@ from repro.experiments import (
     SessionRunResult,
     Study,
     StudyResult,
+    WorkUnit,
     get_study,
     list_studies,
     register_study,
@@ -102,6 +103,7 @@ __all__ = [
     "ResultStore",
     "Study",
     "StudyResult",
+    "WorkUnit",
     "get_study",
     "list_studies",
     "register_study",

@@ -11,14 +11,27 @@ and reports the average, minimum and maximum across mixes, mirroring the
 paper's error bars.  Mechanisms are only evaluated at the ``HC_first``
 values where their published designs apply (Section 6.1): ProHIT and MRLoc
 at 2000 only, increased refresh rate and non-ideal TWiCe at 32k and above.
+
+Sharded execution
+-----------------
+The registered studies declare a work-unit decomposition (see
+:mod:`repro.experiments.study`): one *baseline* unit per workload mix (the
+no-mitigation run plus the per-core alone-IPC runs) and one *cell* unit per
+evaluable (mechanism, HC_first, mix) grid point.  Every unit rebuilds its
+mix's traces deterministically from the config, simulates independently,
+and returns raw IPCs/overheads; the merge recomputes the exact floating
+point operations of :func:`run_mitigation_study` in the same order, so the
+sharded payload is bit-identical to the monolithic one while sessions gain
+per-cell caching, crash resume and process-pool sharding of the grid.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.study import register_study
+from repro.experiments.study import WorkUnit, register_study
 from repro.mitigations.base import MitigationConfig
 from repro.mitigations.registry import build_mechanism, is_evaluable
 from repro.sim.config import SystemConfig
@@ -164,7 +177,238 @@ class FullMitigationStudyConfig(MitigationStudyConfig):
     requests_per_core: int = 8_000
 
 
-@register_study("fig10-mitigations", config=MitigationStudyConfig, requires_chip=False)
+# ----------------------------------------------------------------------
+# Work-unit decomposition of the Figure 10 grid
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MitigationBaselineUnit:
+    """Payload of one baseline work unit: the no-mitigation run of one mix.
+
+    Carries the raw per-core IPCs of the shared baseline run and the
+    alone-run IPC of every core, from which the merge recomputes the mix's
+    baseline weighted speedup exactly as the monolithic sweep does.
+    """
+
+    mix: int
+    core_ipcs: Tuple[float, ...]
+    alone_ipcs: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class MitigationCellUnit:
+    """Payload of one (mechanism, HC_first, mix) cell work unit."""
+
+    mechanism: str
+    hcfirst: int
+    mix: int
+    core_ipcs: Tuple[float, ...]
+    bandwidth_overhead_percent: float
+
+
+@lru_cache(maxsize=4)
+def _cached_mix_traces(
+    num_mixes: int, mix_index: int, rows_per_bank: int, requests_per_core: int, seed: int
+) -> tuple:
+    """Per-process trace cache for unit execution.
+
+    Every work unit of one mix needs the same deterministic traces; caching
+    them per process means a worker draining several units of a mix pays
+    for trace synthesis once, like the monolithic sweep does.  Traces are
+    safe to share between simulations: ``Simulation`` copies the per-core
+    record lists it consumes and the records themselves are immutable.
+    """
+    system_config = SystemConfig(rows_per_bank=rows_per_bank)
+    mixes = make_workload_mixes(
+        num_mixes=num_mixes, cores=system_config.cores, seed=seed
+    )
+    return tuple(
+        mixes[mix_index].build_traces(
+            banks=system_config.banks,
+            rows_per_bank=system_config.rows_per_bank,
+            columns_per_row=system_config.columns_per_row,
+            requests_per_core=requests_per_core,
+            seed=seed,
+        )
+    )
+
+
+def _evaluation_points(config: MitigationStudyConfig) -> List[Tuple[str, int]]:
+    """The (mechanism, HC_first) grid points the config evaluates, in order."""
+    return [
+        (mechanism, hcfirst)
+        for mechanism in config.mechanisms
+        for hcfirst in config.hcfirst_values
+        if not config.respect_design_constraints or is_evaluable(mechanism, hcfirst)
+    ]
+
+
+def _fig10_decompose(study_name: str):
+    """Decomposition for one registered Figure 10 study.
+
+    Units are ordered mix-major (a mix's baseline, then all of its cells)
+    so workers draining consecutive units reuse the per-process trace
+    cache; merge order is reconstructed from the config axes, not the unit
+    order, so this is purely a locality choice.
+    """
+
+    def decompose(config: MitigationStudyConfig) -> List[WorkUnit]:
+        # Per the WorkUnit cache contract, params carry every config field
+        # the unit's payload depends on.  The sweep axes (mechanisms,
+        # hcfirst_values) and the design-constraint flag shape only *which*
+        # units exist, so they stay out -- editing them invalidates nothing
+        # that survives the edit.
+        simulated = {
+            "num_mixes": config.num_mixes,
+            "rows_per_bank": config.rows_per_bank,
+            "dram_cycles": config.dram_cycles,
+            "requests_per_core": config.requests_per_core,
+            "seed": config.seed,
+            "step_mode": config.step_mode,
+        }
+        units: List[WorkUnit] = []
+        points = _evaluation_points(config)
+        for mix in range(config.num_mixes):
+            units.append(
+                WorkUnit(
+                    study=study_name,
+                    unit_id=f"baseline/mix{mix:02d}",
+                    params={"kind": "baseline", "mix": mix, **simulated},
+                )
+            )
+            for mechanism, hcfirst in points:
+                units.append(
+                    WorkUnit(
+                        study=study_name,
+                        unit_id=f"cell/{mechanism}/hc{hcfirst}/mix{mix:02d}",
+                        params={
+                            "kind": "cell",
+                            "mechanism": mechanism,
+                            "hcfirst": hcfirst,
+                            "mix": mix,
+                            "time_scale": config.time_scale,
+                            **simulated,
+                        },
+                    )
+                )
+        return units
+
+    return decompose
+
+
+def _run_mitigation_unit(
+    _chip: None, config: MitigationStudyConfig, unit: WorkUnit
+) -> object:
+    """Execute one Figure 10 work unit (a baseline or a grid cell)."""
+    params = unit.param_dict
+    mix_index = params["mix"]
+    system_config = SystemConfig(rows_per_bank=config.rows_per_bank)
+    traces = list(
+        _cached_mix_traces(
+            config.num_mixes,
+            mix_index,
+            config.rows_per_bank,
+            config.requests_per_core,
+            config.seed,
+        )
+    )
+    if params["kind"] == "baseline":
+        baseline = Simulation(
+            system_config, traces, mitigation=None, step_mode=config.step_mode
+        ).run(config.dram_cycles)
+        alone_ipcs = tuple(
+            Simulation(
+                system_config, [trace], mitigation=None, step_mode=config.step_mode
+            )
+            .run(config.dram_cycles)
+            .core_ipcs[0]
+            for trace in traces
+        )
+        return MitigationBaselineUnit(
+            mix=mix_index, core_ipcs=tuple(baseline.core_ipcs), alone_ipcs=alone_ipcs
+        )
+    mitigation = build_mechanism(
+        params["mechanism"],
+        MitigationConfig(
+            hcfirst=params["hcfirst"],
+            banks=system_config.banks,
+            rows_per_bank=system_config.rows_per_bank,
+            timings=system_config.timings,
+            seed=config.seed + mix_index,
+            time_scale=config.time_scale,
+        ),
+    )
+    result = Simulation(
+        system_config, traces, mitigation=mitigation, step_mode=config.step_mode
+    ).run(config.dram_cycles)
+    return MitigationCellUnit(
+        mechanism=params["mechanism"],
+        hcfirst=params["hcfirst"],
+        mix=mix_index,
+        core_ipcs=tuple(result.core_ipcs),
+        bandwidth_overhead_percent=result.bandwidth_overhead_percent,
+    )
+
+
+def _merge_mitigation_units(
+    config: MitigationStudyConfig, payloads: Sequence[object]
+) -> "MitigationStudyResult":
+    """Reassemble the Figure 10 payload from unit payloads.
+
+    Walks the config axes in the monolithic sweep's loop order and repeats
+    its floating-point operations exactly (same values, same order), so the
+    merged result is bit-identical to :func:`run_mitigation_study` no matter
+    which executor ran the units or in which order they completed.
+    """
+    baselines: Dict[int, MitigationBaselineUnit] = {}
+    cells: Dict[Tuple[str, int, int], MitigationCellUnit] = {}
+    for payload in payloads:
+        if isinstance(payload, MitigationBaselineUnit):
+            baselines[payload.mix] = payload
+        elif isinstance(payload, MitigationCellUnit):
+            cells[(payload.mechanism, payload.hcfirst, payload.mix)] = payload
+        else:
+            raise TypeError(f"unexpected Figure 10 unit payload: {payload!r}")
+
+    baseline_speedups = {
+        mix: weighted_speedup(unit.core_ipcs, unit.alone_ipcs)
+        for mix, unit in baselines.items()
+    }
+    study = MitigationStudyResult()
+    for mechanism_name, hcfirst in _evaluation_points(config):
+        performances: List[float] = []
+        overheads: List[float] = []
+        for mix in range(config.num_mixes):
+            cell = cells[(mechanism_name, hcfirst, mix)]
+            baseline = baselines[mix]
+            speedup = weighted_speedup(cell.core_ipcs, baseline.alone_ipcs)
+            performances.append(
+                normalized_performance(speedup, baseline_speedups[mix])
+            )
+            overheads.append(cell.bandwidth_overhead_percent)
+        study.points.append(
+            MitigationStudyPoint(
+                mechanism=mechanism_name,
+                hcfirst=hcfirst,
+                normalized_performance_avg=sum(performances) / len(performances),
+                normalized_performance_min=min(performances),
+                normalized_performance_max=max(performances),
+                bandwidth_overhead_avg=sum(overheads) / len(overheads),
+                bandwidth_overhead_min=min(overheads),
+                bandwidth_overhead_max=max(overheads),
+                workloads_evaluated=len(performances),
+            )
+        )
+    return study
+
+
+@register_study(
+    "fig10-mitigations",
+    config=MitigationStudyConfig,
+    requires_chip=False,
+    decompose=_fig10_decompose("fig10-mitigations"),
+    unit_runner=_run_mitigation_unit,
+    merge=_merge_mitigation_units,
+)
 def run_mitigation_study_for_config(
     _chip: None, config: MitigationStudyConfig
 ) -> "MitigationStudyResult":
@@ -188,7 +432,12 @@ def run_mitigation_study_for_config(
 
 
 @register_study(
-    "fig10-mitigations-full", config=FullMitigationStudyConfig, requires_chip=False
+    "fig10-mitigations-full",
+    config=FullMitigationStudyConfig,
+    requires_chip=False,
+    decompose=_fig10_decompose("fig10-mitigations-full"),
+    unit_runner=_run_mitigation_unit,
+    merge=_merge_mitigation_units,
 )
 def run_full_mitigation_study(
     _chip: None, config: FullMitigationStudyConfig

@@ -9,13 +9,14 @@ every observed bit flip.  The narrower studies in the sibling modules
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS, worst_case_pattern
 from repro.core.hammer import BitFlip, DoubleSidedHammer, HammerResult
 from repro.dram.chip import DramChip
-from repro.experiments.study import register_study
+from repro.experiments.study import WorkUnit, register_study
 
 
 @dataclass(frozen=True)
@@ -116,11 +117,89 @@ class CharacterizationResult:
         )
 
 
-@register_study("alg1-characterization", config=CharacterizationConfig)
+# ----------------------------------------------------------------------
+# Work-unit decomposition: one unit per hammer count of the grid
+# ----------------------------------------------------------------------
+def _decompose_characterization(config: CharacterizationConfig) -> List[WorkUnit]:
+    """Shard Algorithm 1 along its hammer-count axis.
+
+    The hammer counts are the one grid axis always enumerable from the
+    config alone (patterns and victims may default from the chip), and each
+    count is by far the most expensive dimension of the loop.
+    """
+    # Embedding the single-count restriction of the config satisfies the
+    # WorkUnit cache contract by construction: every other config field
+    # (patterns, banks, victims, test limit) rides along in the params, so
+    # adding a hammer count to a sweep leaves the existing counts' cache
+    # entries valid.
+    return [
+        WorkUnit(
+            study="alg1-characterization",
+            unit_id=f"hc{hammer_count}",
+            params={
+                "hammer_count": hammer_count,
+                "config": dataclasses.replace(config, hammer_counts=(hammer_count,)),
+            },
+        )
+        for hammer_count in config.hammer_counts
+    ]
+
+
+def _run_characterization_unit(
+    chip: DramChip, config: CharacterizationConfig, unit: WorkUnit
+) -> "CharacterizationResult":
+    """Run the full pattern/bank/victim loop at one hammer count."""
+    return RowHammerCharacterizer(chip).run(unit.param_dict["config"])
+
+
+def _merge_characterization(
+    config: CharacterizationConfig, payloads: Sequence["CharacterizationResult"]
+) -> "CharacterizationResult":
+    """Interleave per-hammer-count records back into Algorithm 1's order.
+
+    Each unit's records are ordered pattern -> bank -> victim for its fixed
+    hammer count; the monolithic loop iterates hammer counts innermost, so
+    the merged record list takes one record per unit per (pattern, bank,
+    victim) position.
+    """
+    first = payloads[0]
+    record_counts = {len(payload.records) for payload in payloads}
+    if len(record_counts) != 1:
+        raise ValueError(
+            f"characterization units disagree on grid size: {sorted(record_counts)}"
+        )
+    merged = CharacterizationResult(
+        chip_id=first.chip_id,
+        type_node=first.type_node,
+        manufacturer=first.manufacturer,
+        config=config,
+        cells_tested_per_victim=first.cells_tested_per_victim,
+    )
+    for position in range(len(first.records)):
+        for payload in payloads:
+            merged.records.append(payload.records[position])
+    return merged
+
+
+@register_study(
+    "alg1-characterization",
+    config=CharacterizationConfig,
+    decompose=_decompose_characterization,
+    unit_runner=_run_characterization_unit,
+    merge=_merge_characterization,
+)
 def run_characterization(
     chip: DramChip, config: CharacterizationConfig
 ) -> "CharacterizationResult":
-    """Algorithm 1: the full characterization loop over one chip."""
+    """Algorithm 1: the full characterization loop over one chip.
+
+    Through a session this study runs *sharded*: one hermetic work unit per
+    hammer count, each against a fresh copy of the chip.  Because per-write
+    refresh-epoch noise then restarts per unit instead of accumulating
+    across the sweep, the sharded payload is not bit-identical to this
+    monolithic reference -- each hammer count is instead measured from the
+    same pristine state, which is the semantics the sharded study defines.
+    """
     return RowHammerCharacterizer(chip).run(config)
 
 

@@ -8,14 +8,15 @@ that the pattern finds on its own.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.characterization import RowHammerCharacterizer
 from repro.core.data_patterns import DataPattern, STANDARD_PATTERNS, pattern_by_name
 from repro.core.results import CoverageResult
 from repro.dram.chip import DramChip
-from repro.experiments.study import register_study
+from repro.experiments.study import WorkUnit, register_study
 
 
 @dataclass(frozen=True)
@@ -41,9 +42,104 @@ class CoverageStudyConfig:
             raise ValueError("at least one data pattern is required")
 
 
-@register_study("fig4-coverage", config=CoverageStudyConfig)
+# ----------------------------------------------------------------------
+# Work-unit decomposition: one unit per data pattern
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PatternCoverageUnit:
+    """Payload of one coverage work unit: one pattern's flipped-cell set."""
+
+    pattern: str
+    chip_id: str
+    type_node: str
+    manufacturer: str
+    cells: FrozenSet[Tuple[int, int, int]]
+
+
+def _decompose_coverage(config: CoverageStudyConfig) -> List[WorkUnit]:
+    """Shard the coverage study along its data-pattern axis.
+
+    Each unit embeds the single-pattern restriction of the config (per the
+    WorkUnit cache contract), so adding a pattern to a sweep replays the
+    patterns already measured.
+    """
+    return [
+        WorkUnit(
+            study="fig4-coverage",
+            unit_id=f"pattern/{name}",
+            params={
+                "pattern": name,
+                "config": dataclasses.replace(config, patterns=(name,)),
+            },
+        )
+        for name in config.patterns
+    ]
+
+
+def _run_coverage_unit(
+    chip: DramChip, config: CoverageStudyConfig, unit: WorkUnit
+) -> PatternCoverageUnit:
+    """Hammer every victim with one pattern and collect its unique flips."""
+    pattern = pattern_by_name(unit.param_dict["pattern"])
+    characterizer = RowHammerCharacterizer(chip)
+    victims = (
+        list(config.victims)
+        if config.victims is not None
+        else characterizer.default_victims(config.bank)
+    )
+    cells: Set[Tuple[int, int, int]] = set()
+    for _iteration in range(config.iterations):
+        for result in characterizer.hammer_all_victims(
+            config.hammer_count, data_pattern=pattern, bank=config.bank, victims=victims
+        ):
+            cells.update(flip.cell for flip in result.flips)
+    return PatternCoverageUnit(
+        pattern=pattern.name,
+        chip_id=chip.chip_id,
+        type_node=chip.profile.type_node.value,
+        manufacturer=chip.profile.manufacturer,
+        cells=frozenset(cells),
+    )
+
+
+def _merge_coverage(
+    config: CoverageStudyConfig, payloads: Sequence[PatternCoverageUnit]
+) -> CoverageResult:
+    """Union the per-pattern flip sets and compute coverage fractions."""
+    all_cells: Set[Tuple[int, int, int]] = set()
+    for payload in payloads:
+        all_cells.update(payload.cells)
+    first = payloads[0]
+    return CoverageResult(
+        chip_id=first.chip_id,
+        type_node=first.type_node,
+        manufacturer=first.manufacturer,
+        hammer_count=config.hammer_count,
+        unique_flips_total=len(all_cells),
+        coverage_by_pattern={
+            payload.pattern: (len(payload.cells) / len(all_cells) if all_cells else 0.0)
+            for payload in payloads
+        },
+        flips_by_pattern={payload.pattern: len(payload.cells) for payload in payloads},
+    )
+
+
+@register_study(
+    "fig4-coverage",
+    config=CoverageStudyConfig,
+    decompose=_decompose_coverage,
+    unit_runner=_run_coverage_unit,
+    merge=_merge_coverage,
+)
 def run_pattern_coverage(chip: DramChip, config: CoverageStudyConfig) -> CoverageResult:
-    """Per-data-pattern bit-flip coverage (Figure 4 / Table 3)."""
+    """Per-data-pattern bit-flip coverage (Figure 4 / Table 3).
+
+    Through a session this study runs *sharded*: one hermetic work unit per
+    data pattern, each against a fresh copy of the chip, so every pattern's
+    flip set is measured from the same pristine state (per-write
+    refresh-epoch noise does not accumulate across patterns as it does in
+    this monolithic reference loop).
+    """
     return pattern_coverage(
         chip,
         hammer_count=config.hammer_count,

@@ -1,7 +1,9 @@
 """Pluggable execution backends for fanning studies out across chips.
 
-An :class:`Executor` turns a batch of :class:`StudyTask` items into
-:class:`TaskOutcome` items, in task order.  Two backends are provided:
+An :class:`Executor` turns a batch of :class:`StudyTask` items -- whole
+studies or individual :class:`~repro.experiments.study.WorkUnit` shards of a
+decomposed study -- into :class:`TaskOutcome` items, in task order.  Two
+backends are provided:
 
 * :class:`SerialExecutor` runs tasks one after another in-process -- the
   reference behaviour every other backend must reproduce bit-identically.
@@ -34,10 +36,10 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Iterator, List, Optional, Sequence
 
 from repro.dram.chip import ChipStats, DramChip
-from repro.experiments.study import StudyResult, config_digest, get_study
+from repro.experiments.study import StudyResult, WorkUnit, config_digest, get_study
 
 
 @dataclass
@@ -48,12 +50,17 @@ class StudyTask:
     seed, the study name and the chip identity; it is recorded on the
     resulting :class:`~repro.experiments.study.StudyResult` so downstream
     consumers can reproduce any task in isolation.
+
+    ``unit`` selects one shard of a decomposed study (see
+    :class:`~repro.experiments.study.WorkUnit`); ``None`` runs the whole
+    study, which keeps direct executor users working unchanged.
     """
 
     study: str
     config: Any
     chip: Optional[DramChip]
     seed: int
+    unit: Optional[WorkUnit] = None
 
 
 @dataclass
@@ -65,7 +72,7 @@ class TaskOutcome:
 
 
 def execute_task(task: StudyTask) -> TaskOutcome:
-    """Execute one study task hermetically and return its outcome.
+    """Execute one study task (a whole study or one work unit) hermetically.
 
     Module-level so :class:`ParallelExecutor` can ship it to worker
     processes; the registry lookup re-imports the built-in study modules
@@ -76,7 +83,10 @@ def execute_task(task: StudyTask) -> TaskOutcome:
     if chip is not None:
         chip.stats.reset()
     started = time.perf_counter()
-    payload = spec.run(chip, task.config)
+    if task.unit is not None:
+        payload = spec.run_unit(chip, task.config, task.unit)
+    else:
+        payload = spec.run(chip, task.config)
     elapsed = time.perf_counter() - started
     result = StudyResult(
         study=task.study,
@@ -87,6 +97,8 @@ def execute_task(task: StudyTask) -> TaskOutcome:
         seed=task.seed,
         payload=payload,
         elapsed_s=elapsed,
+        unit_id=task.unit.unit_id if task.unit is not None else None,
+        unit_digest=task.unit.digest if task.unit is not None else None,
     )
     return TaskOutcome(result=result, stats=chip.stats if chip is not None else None)
 
@@ -97,12 +109,23 @@ class Executor:
     Subclasses implement :meth:`run_tasks`, which must return one outcome
     per task *in task order* -- the session relies on this to keep results
     aligned with chips and to make parallel runs reproduce serial runs.
+
+    :meth:`iter_outcomes` is the streaming form of the same contract: it
+    yields outcomes in task order *as they complete*, which is what lets
+    the session checkpoint every finished work unit into the result store
+    before the batch is done (a killed run then resumes from the units that
+    made it to disk).  The base implementation degrades to the batch call;
+    the built-in backends stream for real.
     """
 
     name = "base"
 
     def run_tasks(self, tasks: Sequence[StudyTask]) -> List[TaskOutcome]:
         raise NotImplementedError
+
+    def iter_outcomes(self, tasks: Sequence[StudyTask]) -> Iterator[TaskOutcome]:
+        """Yield one outcome per task in task order, eagerly as available."""
+        yield from self.run_tasks(tasks)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}()"
@@ -114,7 +137,11 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run_tasks(self, tasks: Sequence[StudyTask]) -> List[TaskOutcome]:
-        return [execute_task(task) for task in tasks]
+        return list(self.iter_outcomes(tasks))
+
+    def iter_outcomes(self, tasks: Sequence[StudyTask]) -> Iterator[TaskOutcome]:
+        for task in tasks:
+            yield execute_task(task)
 
 
 class ParallelExecutor(Executor):
@@ -141,17 +168,24 @@ class ParallelExecutor(Executor):
         self.chunksize = chunksize
 
     def run_tasks(self, tasks: Sequence[StudyTask]) -> List[TaskOutcome]:
+        return list(self.iter_outcomes(tasks))
+
+    def iter_outcomes(self, tasks: Sequence[StudyTask]) -> Iterator[TaskOutcome]:
         tasks = list(tasks)
         if not tasks:
-            return []
+            return
         workers = self.max_workers or os.cpu_count() or 1
         workers = max(1, min(workers, len(tasks)))
         if workers == 1:
-            return [execute_task(task) for task in tasks]
+            for task in tasks:
+                yield execute_task(task)
+            return
         with ProcessPoolExecutor(max_workers=workers) as pool:
             # Executor.map preserves input order, which keeps parallel output
-            # bit-identical (and identically ordered) to SerialExecutor.
-            return list(pool.map(execute_task, tasks, chunksize=self.chunksize))
+            # bit-identical (and identically ordered) to SerialExecutor, and
+            # yields each outcome as soon as its in-order turn completes, so
+            # the consuming session can checkpoint units while others run.
+            yield from pool.map(execute_task, tasks, chunksize=self.chunksize)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ParallelExecutor(max_workers={self.max_workers})"

@@ -27,6 +27,7 @@ from repro.experiments.store import ResultStore
 from repro.experiments.study import (
     RegisteredStudy,
     StudyResult,
+    WorkUnit,
     config_digest,
     get_study,
 )
@@ -88,13 +89,24 @@ class SessionRunResult:
 
     @property
     def cache_hits(self) -> int:
-        """How many of the results were replayed from the store."""
-        return sum(1 for result in self.results if result.from_cache)
+        """How many *work units* were replayed from the store.
+
+        Counts at unit granularity so progress reporting stays truthful for
+        decomposed studies: a 2000-unit sweep resumed with 3 missing units
+        reports 1997 hits, not 0.  Undecomposed studies run as one implicit
+        unit per chip, so the count matches the old per-task meaning there.
+        """
+        return sum(result.units_from_cache for result in self.results)
 
     @property
     def executed(self) -> int:
-        """How many of the results were freshly computed."""
-        return len(self.results) - self.cache_hits
+        """How many *work units* were freshly computed (see ``cache_hits``)."""
+        return sum(result.units_total - result.units_from_cache for result in self.results)
+
+    @property
+    def units_total(self) -> int:
+        """Total work units behind this run's results."""
+        return sum(result.units_total for result in self.results)
 
 
 class ExperimentSession:
@@ -208,15 +220,22 @@ class ExperimentSession:
     ) -> SessionRunResult:
         """Run one registered study over the population (or a chip subset).
 
-        Cached results are served from the store without touching the chips;
-        the remaining tasks go through the executor, and each freshly
-        computed result is written back to the store.  The returned results
-        are in chip order regardless of cache hits and executor backend.
+        The study is first decomposed into work units (one implicit unit for
+        undecomposed studies; see :meth:`RegisteredStudy.units_for`).  Units
+        already in the store are replayed without touching the chips; the
+        remaining units go through the executor at unit granularity, and
+        each freshly computed unit is written back to the store
+        individually -- so a killed run resumes from its completed units.
+        Unit payloads are then merged *in decomposition order*, which makes
+        the returned payloads bit-identical regardless of cache state,
+        executor backend, worker count or unit completion order.  The
+        results are in chip order.
         """
         spec = study if isinstance(study, RegisteredStudy) else get_study(study)
         if config is None:
             config = spec.default_config()
         digest = config_digest(config)
+        units = spec.units_for(config)
 
         if spec.requires_chip:
             targets: List[Optional[DramChip]] = list(chips) if chips is not None else list(self._chips)
@@ -228,44 +247,107 @@ class ExperimentSession:
             targets = [None]
 
         started = time.perf_counter()
-        results: List[Optional[StudyResult]] = [None] * len(targets)
-        pending_indices: List[int] = []
+        # Per target: the payload of every unit (filled from cache or the
+        # executor), how many came from the cache, and the executed seconds.
+        unit_payloads: List[List[Any]] = [[None] * len(units) for _ in targets]
+        units_cached: List[int] = [0] * len(targets)
+        unit_elapsed: List[float] = [0.0] * len(targets)
+        pending_slots: List[Tuple[int, int]] = []
         pending_tasks: List[StudyTask] = []
-        for index, chip in enumerate(targets):
+        for t_index, chip in enumerate(targets):
             # The store keys results by chip *construction* parameters, which
             # only describe a chip nobody has written to or hammered outside
             # the session.  A chip mutated directly by the caller bypasses
             # the cache entirely (results stay correct, just uncached).
             cacheable = chip is None or chip.is_pristine
-            if self.store is not None and cacheable:
-                key = self.store.key_for(spec.name, digest, chip)
-                cached = self.store.get(key)
-                if cached is not None:
-                    results[index] = cached
-                    continue
-            task_seed = derive_seed(
-                self.seed, spec.name, digest, chip.chip_id if chip is not None else "population"
-            )
-            pending_indices.append(index)
-            pending_tasks.append(StudyTask(study=spec.name, config=config, chip=chip, seed=task_seed))
+            for u_index, unit in enumerate(units):
+                if self.store is not None and cacheable:
+                    cached = self.store.get(self.store.key_for(spec.name, digest, chip, unit))
+                    if cached is not None:
+                        unit_payloads[t_index][u_index] = cached.payload
+                        units_cached[t_index] += 1
+                        continue
+                pending_slots.append((t_index, u_index))
+                pending_tasks.append(
+                    StudyTask(
+                        study=spec.name,
+                        config=config,
+                        chip=chip,
+                        seed=self._unit_seed(spec, digest, chip, unit),
+                        unit=unit,
+                    )
+                )
 
-        outcomes = self.executor.run_tasks(pending_tasks)
-        for index, outcome in zip(pending_indices, outcomes):
-            results[index] = outcome.result
-            chip = targets[index]
-            if chip is not None and outcome.stats is not None:
-                # The executor ran against a copy; fold the copy's operation
-                # counters back so ChipStats reflects all work done on a chip.
-                chip.stats.merge(outcome.stats)
-            if self.store is not None and (chip is None or chip.is_pristine):
-                self.store.put(self.store.key_for(spec.name, digest, chip), outcome.result)
+        # iter_outcomes streams completed units in task order, so every
+        # finished unit is checkpointed into the store *before* the batch is
+        # done -- a run killed mid-sweep resumes from the units on disk.
+        outcomes = self.executor.iter_outcomes(pending_tasks)
+        try:
+            for (t_index, u_index), outcome in zip(pending_slots, outcomes):
+                unit_payloads[t_index][u_index] = outcome.result.payload
+                unit_elapsed[t_index] += outcome.result.elapsed_s
+                chip = targets[t_index]
+                if chip is not None and outcome.stats is not None:
+                    # The executor ran against a copy; fold the copy's
+                    # operation counters back so ChipStats reflects all work
+                    # done on a chip.
+                    chip.stats.merge(outcome.stats)
+                if self.store is not None and (chip is None or chip.is_pristine):
+                    self.store.put(
+                        self.store.key_for(spec.name, digest, chip, units[u_index]),
+                        outcome.result,
+                    )
+        finally:
+            # zip() stops at the last slot without advancing the generator
+            # past its final yield; closing it releases executor resources
+            # (e.g. the process pool) before the merge phase instead of at GC.
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()
+
+        results: List[StudyResult] = []
+        for t_index, chip in enumerate(targets):
+            payload = spec.merge_units(config, unit_payloads[t_index])
+            results.append(
+                StudyResult(
+                    study=spec.name,
+                    config_digest=digest,
+                    chip_id=chip.chip_id if chip is not None else None,
+                    type_node=chip.profile.type_node.value if chip is not None else None,
+                    manufacturer=chip.profile.manufacturer if chip is not None else None,
+                    seed=derive_seed(self.seed, spec.name, digest, self._chip_label(chip)),
+                    payload=payload,
+                    elapsed_s=unit_elapsed[t_index],
+                    from_cache=units_cached[t_index] == len(units),
+                    units_total=len(units),
+                    units_from_cache=units_cached[t_index],
+                )
+            )
 
         return SessionRunResult(
             study=spec.name,
             config=config,
-            results=[result for result in results if result is not None],
+            results=results,
             elapsed_s=time.perf_counter() - started,
         )
+
+    @staticmethod
+    def _chip_label(chip: Optional[DramChip]) -> str:
+        return chip.chip_id if chip is not None else "population"
+
+    def _unit_seed(
+        self, spec: RegisteredStudy, digest: str, chip: Optional[DramChip], unit: WorkUnit
+    ) -> int:
+        """Independent, reproducible stream for one (chip, unit) task.
+
+        The implicit whole-study unit keeps the historical derivation (no
+        unit component), so undecomposed studies record the same seeds --
+        and produce byte-identical cached envelopes -- as before the unit
+        layer existed.
+        """
+        if unit.is_whole_study:
+            return derive_seed(self.seed, spec.name, digest, self._chip_label(chip))
+        return derive_seed(self.seed, spec.name, digest, self._chip_label(chip), unit.unit_id)
 
     def run_all(
         self,

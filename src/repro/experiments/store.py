@@ -11,6 +11,11 @@ digest of (study name, config digest, profile, geometry, seed, HC_first
 target, remapper), so benchmarks that share a chip population -- for
 example Table 4 and Figure 8, or Table 2's DDR3 subset -- stop recomputing
 each other's work, across processes and across runs.
+
+Decomposed studies are cached at *work-unit* granularity: every shard of
+the grid gets its own entry (the key gains the unit's digest), so a sweep
+killed halfway resumes from its completed units, and editing one axis of a
+config invalidates only the entries whose unit parameters changed.
 """
 
 from __future__ import annotations
@@ -25,19 +30,32 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.dram.chip import DramChip
-from repro.experiments.study import StudyResult
+from repro.experiments.study import StudyResult, WorkUnit
 
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Identity of one cached study result."""
+    """Identity of one cached study result.
+
+    ``unit_digest`` distinguishes the shards of a decomposed study; the
+    empty string means a whole-study result, whose filename matches the
+    pre-unit-layer layout so existing caches stay valid.  Unit entries
+    carry no config digest: a work unit's parameters must embed every
+    config field its payload depends on (see
+    :class:`~repro.experiments.study.WorkUnit`), so its digest *is* its
+    config scope -- which is what lets an edited config replay every unit
+    it did not touch.
+    """
 
     study: str
     config_digest: str
     chip_digest: str
+    unit_digest: str = ""
 
     @property
     def filename(self) -> str:
+        if self.unit_digest:
+            return f"{self.chip_digest}-u{self.unit_digest}.pkl"
         return f"{self.config_digest}-{self.chip_digest}.pkl"
 
 
@@ -105,8 +123,31 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Key construction
     # ------------------------------------------------------------------
-    def key_for(self, study: str, config_digest: str, chip: Optional[DramChip]) -> CacheKey:
-        return CacheKey(study=study, config_digest=config_digest, chip_digest=chip_digest(chip))
+    def key_for(
+        self,
+        study: str,
+        config_digest: str,
+        chip: Optional[DramChip],
+        unit: Optional[WorkUnit] = None,
+    ) -> CacheKey:
+        """Cache key for one study result (optionally one work unit of it).
+
+        The implicit whole-study unit maps to the unit-less key, so
+        undecomposed studies hit the same cache entries they always did.
+        Real units drop the config digest from the key (their own digest
+        embeds the unit-relevant config scope), so two configs sharing a
+        grid cell share its cache entry.
+        """
+        if unit is None or unit.is_whole_study:
+            return CacheKey(
+                study=study, config_digest=config_digest, chip_digest=chip_digest(chip)
+            )
+        return CacheKey(
+            study=study,
+            config_digest="",
+            chip_digest=chip_digest(chip),
+            unit_digest=unit.digest,
+        )
 
     def _path(self, key: CacheKey) -> Optional[Path]:
         if self.root is None:
@@ -156,6 +197,39 @@ class ResultStore:
             return True
         path = self._path(key)
         return path is not None and path.exists()
+
+    def drop(self, key: CacheKey) -> bool:
+        """Evict one cached result (memory and disk); ``True`` if anything was.
+
+        The programmatic way to knock individual work units out of an
+        otherwise complete cache (crash simulations that model *external*
+        file loss delete the on-disk entries directly instead).
+        """
+        dropped = self._memory.pop(key, None) is not None
+        path = self._path(key)
+        if path is not None and path.exists():
+            path.unlink()
+            dropped = True
+        return dropped
+
+    def entry_paths(self, study: Optional[str] = None, units_only: bool = False) -> list:
+        """Sorted on-disk cache files, optionally restricted to one study.
+
+        ``units_only`` keeps only per-unit entries (shards of decomposed
+        studies), whose filenames carry a unit-digest suffix.  Memory-only
+        stores have no entry paths.
+        """
+        if self.root is None or not self.root.exists():
+            return []
+        pattern = f"{study}/*.pkl" if study is not None else "*/*.pkl"
+        paths = sorted(self.root.glob(pattern))
+        if units_only:
+            # Unit entries are "<chip>-u<unit>.pkl"; digests are hex, so a
+            # final dash-separated segment starting with "u" is unambiguous.
+            paths = [
+                path for path in paths if path.stem.rsplit("-", 1)[-1].startswith("u")
+            ]
+        return paths
 
     def clear(self) -> None:
         """Drop every cached result, in memory and on disk."""

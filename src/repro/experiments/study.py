@@ -8,6 +8,18 @@ as a *study*: a named unit with a frozen config dataclass and a uniform
 :func:`list_studies`; :class:`~repro.experiments.session.ExperimentSession`
 fans registered studies out over chip populations.
 
+Work units
+----------
+Long grid-shaped studies may additionally declare a *decomposition*: a
+``decompose(config) -> [WorkUnit]`` enumerating independent shards of the
+grid, a ``unit_runner(chip, config, unit)`` executing one shard
+hermetically, and a deterministic ``merge(config, payloads)`` reassembling
+the study payload from shard payloads *in decomposition order*.  Sessions
+then fan the units -- not the whole study -- through the executor and cache
+each unit individually, so a killed sweep resumes from its completed units
+and a config edit invalidates only the units it touches.  Studies without a
+decomposition run as a single implicit whole-study unit.
+
 The registry deliberately knows nothing about chips or executors, so study
 implementations (which live next to the measurement code they wrap, for
 example :mod:`repro.core.sweeps`) can import it without cycles.
@@ -20,7 +32,18 @@ import hashlib
 import importlib
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple, runtime_checkable
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 
 class UnknownStudyError(KeyError):
@@ -29,6 +52,78 @@ class UnknownStudyError(KeyError):
 
 class DuplicateStudyError(ValueError):
     """Raised when two studies are registered under the same name."""
+
+
+class DecompositionError(ValueError):
+    """Raised when a study's declared decomposition is inconsistent."""
+
+
+#: ``unit_id`` of the implicit single unit wrapping an undecomposed study.
+#: Stores key such units exactly like the pre-unit-layer whole-study
+#: results, so existing caches stay valid.
+WHOLE_STUDY_UNIT = "whole-study"
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independently executable, independently cacheable shard of a study.
+
+    A unit is pure data (it must pickle into worker processes): the study it
+    belongs to, a human-readable ``unit_id`` unique within one decomposition,
+    the shard parameters, and its position in decomposition order (``index``,
+    which fixes merge order).  ``params`` accepts any mapping or iterable of
+    ``(key, value)`` pairs and is normalised to a key-sorted tuple, so two
+    units built from differently-ordered dicts compare, hash and digest
+    identically.
+
+    **Cache contract:** ``params`` must embed *every* config field the
+    unit's payload depends on (embedding a restricted copy of the config is
+    the easy way), because stores key unit results by the unit digest alone,
+    with no full-config component.  That is what makes the cache surgical:
+    dropping one mechanism from a sweep's config leaves every other
+    mechanism's units replayable, and two configs sharing a grid cell share
+    its cache entry.
+    """
+
+    study: str
+    unit_id: str
+    params: Any = ()
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        params = self.params
+        if isinstance(params, Mapping):
+            items = params.items()
+        else:
+            items = tuple(params)
+        normalized = tuple(
+            sorted(((str(key), value) for key, value in items), key=lambda kv: kv[0])
+        )
+        object.__setattr__(self, "params", normalized)
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        """The unit's parameters as a plain dict."""
+        return dict(self.params)
+
+    @property
+    def digest(self) -> str:
+        """Stable hex digest identifying this unit's content.
+
+        Computed over the study name, the unit id and the canonical textual
+        form of the parameters (keys sorted), so the digest is invariant
+        under parameter-dict key order and across process restarts, and two
+        units with different parameters never share a digest.  ``index`` is
+        excluded: reordering a decomposition re-orders the merge, not the
+        units' cache identities.
+        """
+        text = "\x1f".join((self.study, self.unit_id, _canonical(self.param_dict)))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def is_whole_study(self) -> bool:
+        """Whether this is the implicit unit of an undecomposed study."""
+        return self.unit_id == WHOLE_STUDY_UNIT
 
 
 @runtime_checkable
@@ -57,6 +152,11 @@ class RegisteredStudy:
     metadata the session layer needs: the config dataclass used when no
     config is supplied, whether the study runs per chip or once per
     population, and a human-readable description.
+
+    A study may also declare a work-unit decomposition (``decompose_fn`` /
+    ``unit_runner_fn`` / ``merge_fn``, see the module docstring); sessions
+    then execute and cache the study shard by shard.  ``fn`` remains the
+    monolithic reference implementation, callable directly.
     """
 
     name: str
@@ -64,6 +164,9 @@ class RegisteredStudy:
     config_cls: Optional[type] = None
     requires_chip: bool = True
     description: str = ""
+    decompose_fn: Optional[Callable[[Any], Sequence["WorkUnit"]]] = None
+    unit_runner_fn: Optional[Callable[[Any, Any, "WorkUnit"], Any]] = None
+    merge_fn: Optional[Callable[[Any, List[Any]], Any]] = None
 
     def default_config(self) -> Any:
         """A default-constructed config, or ``None`` for config-less studies."""
@@ -75,6 +178,74 @@ class RegisteredStudy:
             config = self.default_config()
         return self.fn(chip, config)
 
+    # ------------------------------------------------------------------
+    # Work-unit decomposition
+    # ------------------------------------------------------------------
+    @property
+    def is_decomposable(self) -> bool:
+        """Whether the study declares a work-unit decomposition."""
+        return self.decompose_fn is not None
+
+    def units_for(self, config: Any = None) -> List["WorkUnit"]:
+        """The study's work units for one config, in merge order.
+
+        Undecomposed studies return a single implicit whole-study unit.
+        Unit ids must be unique within a decomposition (they key the cache);
+        ``index`` is normalised to the decomposition position.
+        """
+        if config is None:
+            config = self.default_config()
+        if not self.is_decomposable:
+            return [WorkUnit(study=self.name, unit_id=WHOLE_STUDY_UNIT)]
+        units: List[WorkUnit] = []
+        seen_ids: set = set()
+        for position, unit in enumerate(self.decompose_fn(config)):
+            if unit.study != self.name:
+                raise DecompositionError(
+                    f"study {self.name!r} produced a unit for {unit.study!r}"
+                )
+            if unit.unit_id in seen_ids:
+                raise DecompositionError(
+                    f"study {self.name!r} produced duplicate unit id {unit.unit_id!r}"
+                )
+            seen_ids.add(unit.unit_id)
+            if unit.index != position:
+                unit = dataclasses.replace(unit, index=position)
+            units.append(unit)
+        if not units:
+            raise DecompositionError(f"study {self.name!r} decomposed into zero units")
+        return units
+
+    def run_unit(self, chip: Any, config: Any, unit: "WorkUnit") -> Any:
+        """Execute one work unit hermetically, returning the unit payload.
+
+        The implicit whole-study unit falls through to :meth:`run`, so every
+        execution path -- decomposed or not -- goes through one method.
+        """
+        if config is None:
+            config = self.default_config()
+        if not self.is_decomposable or unit.is_whole_study:
+            return self.fn(chip, config)
+        return self.unit_runner_fn(chip, config, unit)
+
+    def merge_units(self, config: Any, payloads: Sequence[Any]) -> Any:
+        """Merge unit payloads (in decomposition order) into the study payload.
+
+        Merging is pure data assembly -- no chip access, no randomness -- so
+        the merged payload is bit-identical regardless of which executor ran
+        the units, how many workers it used, or in what order units finished.
+        """
+        if config is None:
+            config = self.default_config()
+        if not self.is_decomposable:
+            if len(payloads) != 1:
+                raise DecompositionError(
+                    f"undecomposed study {self.name!r} expects exactly one unit "
+                    f"payload, got {len(payloads)}"
+                )
+            return payloads[0]
+        return self.merge_fn(config, list(payloads))
+
 
 @dataclass
 class StudyResult:
@@ -85,6 +256,14 @@ class StudyResult:
     compare results across chips and sessions.  ``elapsed_s`` and
     ``from_cache`` are bookkeeping and excluded from equality so a cached
     result compares equal to the run that produced it.
+
+    The same envelope carries both granularities of the unit layer: a
+    *unit-level* result (``unit_id``/``unit_digest`` set, ``payload`` is one
+    shard's payload) is what executors produce and stores cache, while a
+    *study-level* result (``unit_id`` ``None``, ``payload`` merged) is what
+    sessions return.  ``units_total`` / ``units_from_cache`` record, on a
+    study-level result, how many units the payload was merged from and how
+    many of those were replayed from the store.
     """
 
     study: str
@@ -96,6 +275,10 @@ class StudyResult:
     payload: Any
     elapsed_s: float = field(default=0.0, compare=False)
     from_cache: bool = field(default=False, compare=False)
+    unit_id: Optional[str] = None
+    unit_digest: Optional[str] = None
+    units_total: int = field(default=1, compare=False)
+    units_from_cache: int = field(default=0, compare=False)
 
     @property
     def configuration(self) -> Optional[Tuple[str, str]]:
@@ -141,6 +324,9 @@ def register_study(
     config: Optional[type] = None,
     requires_chip: bool = True,
     description: str = "",
+    decompose: Optional[Callable[[Any], Sequence[WorkUnit]]] = None,
+    unit_runner: Optional[Callable[[Any, Any, WorkUnit], Any]] = None,
+    merge: Optional[Callable[[Any, List[Any]], Any]] = None,
 ) -> Callable[[Callable[[Any, Any], Any]], Callable[[Any, Any], Any]]:
     """Decorator registering ``fn(chip, config) -> payload`` as a named study.
 
@@ -164,7 +350,21 @@ def register_study(
     description:
         One-line human-readable summary; defaults to the first line of the
         function's docstring.
+    decompose, unit_runner, merge:
+        Optional work-unit decomposition (see the module docstring): all
+        three must be given together.  ``decompose(config)`` enumerates the
+        study's :class:`WorkUnit` shards, ``unit_runner(chip, config, unit)``
+        executes one shard hermetically, and ``merge(config, payloads)``
+        deterministically reassembles the study payload from shard payloads
+        in decomposition order.  The decorated ``fn`` stays registered as
+        the monolithic reference implementation.
     """
+    provided = (decompose is not None, unit_runner is not None, merge is not None)
+    if any(provided) and not all(provided):
+        raise DecompositionError(
+            f"study {name!r}: decompose, unit_runner and merge must be "
+            "declared together"
+        )
 
     def decorator(fn: Callable[[Any, Any], Any]) -> Callable[[Any, Any], Any]:
         if name in _REGISTRY:
@@ -181,6 +381,9 @@ def register_study(
             config_cls=config,
             requires_chip=requires_chip,
             description=summary,
+            decompose_fn=decompose,
+            unit_runner_fn=unit_runner,
+            merge_fn=merge,
         )
         return fn
 

@@ -1,0 +1,182 @@
+"""Crash-resume behaviour of the unit-level result cache.
+
+A decomposed study caches every work unit individually, so a killed run
+resumes from its completed units: deleting k unit entries from a complete
+cache (simulating a crash that lost part of the work) must re-execute
+exactly k units and still merge to the bit-identical payload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.mitigation_study import MitigationStudyConfig
+from repro.core.characterization import CharacterizationConfig
+from repro.dram.geometry import ChipGeometry
+from repro.dram.population import make_chip
+from repro.experiments import ExperimentSession, ResultStore, SerialExecutor
+from repro.experiments.executors import execute_task
+
+TINY_FIG10 = MitigationStudyConfig(
+    hcfirst_values=(2_000, 256),
+    mechanisms=("PARA", "Ideal"),
+    num_mixes=1,
+    rows_per_bank=512,
+    dram_cycles=2_000,
+    requests_per_core=400,
+    seed=3,
+)
+
+GEOMETRY = ChipGeometry(banks=1, rows_per_bank=32, row_bytes=16)
+
+
+def fig10_session(tmp_path):
+    """A fresh session reading/writing the same on-disk store directory.
+
+    Each call builds a new ResultStore instance so nothing is served from
+    process memory -- exactly the state a restarted process would see.
+    """
+    return ExperimentSession(store=ResultStore(tmp_path / "store"), seed=3)
+
+
+def points_of(outcome):
+    return [point.to_dict() for point in outcome.single().points]
+
+
+class TestFig10Resume:
+    def test_uninterrupted_replay_is_all_unit_hits(self, tmp_path):
+        first = fig10_session(tmp_path).run("fig10-mitigations", TINY_FIG10)
+        assert first.executed == first.units_total
+        assert first.cache_hits == 0
+
+        replay = fig10_session(tmp_path).run("fig10-mitigations", TINY_FIG10)
+        assert replay.executed == 0
+        assert replay.cache_hits == first.units_total
+        assert all(result.from_cache for result in replay.results)
+        assert points_of(replay) == points_of(first)
+
+    @pytest.mark.parametrize("killed", [1, 3])
+    def test_resume_reexecutes_exactly_the_missing_units(self, tmp_path, killed):
+        """Acceptance criterion: deleting k unit cache entries re-executes
+        exactly k units, and the merged payload is bit-identical to the
+        uninterrupted run."""
+        store = ResultStore(tmp_path / "store")
+        first = ExperimentSession(store=store, seed=3).run(
+            "fig10-mitigations", TINY_FIG10
+        )
+        unit_files = store.entry_paths("fig10-mitigations", units_only=True)
+        assert len(unit_files) == first.units_total
+
+        for path in unit_files[::2][:killed]:  # spread the damage
+            path.unlink()
+
+        resumed = fig10_session(tmp_path).run("fig10-mitigations", TINY_FIG10)
+        assert resumed.executed == killed
+        assert resumed.cache_hits == first.units_total - killed
+        assert not resumed.results[0].from_cache  # partially recomputed
+        assert points_of(resumed) == points_of(first)
+
+        # The repaired cache replays fully afterwards.
+        repaired = fig10_session(tmp_path).run("fig10-mitigations", TINY_FIG10)
+        assert repaired.executed == 0
+        assert points_of(repaired) == points_of(first)
+
+    def test_editing_one_mechanism_invalidates_only_its_units(self, tmp_path):
+        """Unit entries are keyed by unit digest (which embeds the
+        unit-relevant config scope), not by the full config digest, so
+        adding a mechanism to the sweep re-executes only its cells."""
+        fig10_session(tmp_path).run("fig10-mitigations", TINY_FIG10)
+
+        import dataclasses
+
+        widened = dataclasses.replace(
+            TINY_FIG10, mechanisms=("PARA", "ProHIT", "Ideal")
+        )
+        out = fig10_session(tmp_path).run("fig10-mitigations", widened)
+        # ProHIT only applies at HC_first=2000, so exactly one new cell.
+        assert out.executed == 1
+        assert out.cache_hits == out.units_total - 1
+
+    def test_crash_mid_run_checkpoints_completed_units(self, tmp_path):
+        """The session consumes executor outcomes as a stream and writes
+        each finished unit to the store immediately, so a process dying
+        mid-sweep leaves every completed unit on disk and the rerun picks
+        up exactly where the crash happened."""
+
+        class CrashAfter(SerialExecutor):
+            def __init__(self, completed_before_crash):
+                self.completed_before_crash = completed_before_crash
+
+            def iter_outcomes(self, tasks):
+                for index, task in enumerate(tasks):
+                    if index >= self.completed_before_crash:
+                        raise RuntimeError("simulated crash")
+                    yield execute_task(task)
+
+        survivors = 4
+        store = ResultStore(tmp_path / "store")
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            ExperimentSession(store=store, executor=CrashAfter(survivors), seed=3).run(
+                "fig10-mitigations", TINY_FIG10
+            )
+        on_disk = store.entry_paths("fig10-mitigations", units_only=True)
+        assert len(on_disk) == survivors
+
+        resumed = fig10_session(tmp_path).run("fig10-mitigations", TINY_FIG10)
+        assert resumed.cache_hits == survivors
+        assert resumed.executed == resumed.units_total - survivors
+
+        # The recovered payload equals a never-crashed run's.
+        clean = ExperimentSession(seed=3).run("fig10-mitigations", TINY_FIG10)
+        assert points_of(resumed) == points_of(clean)
+
+    def test_store_drop_evicts_single_units(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        session = ExperimentSession(store=store, seed=3)
+        session.run("fig10-mitigations", TINY_FIG10)
+
+        spec_units = session.run("fig10-mitigations", TINY_FIG10)
+        assert spec_units.executed == 0  # fully cached (memory + disk)
+
+        from repro.experiments import config_digest, get_study
+
+        spec = get_study("fig10-mitigations")
+        unit = spec.units_for(TINY_FIG10)[0]
+        key = store.key_for(spec.name, config_digest(TINY_FIG10), None, unit)
+        assert store.drop(key)
+        assert not store.contains(key)
+        again = session.run("fig10-mitigations", TINY_FIG10)
+        assert again.executed == 1
+
+
+class TestChipStudyResume:
+    def test_alg1_partial_cache_resume(self, tmp_path):
+        config = CharacterizationConfig(hammer_counts=(25_000, 50_000, 100_000))
+
+        def session():
+            chip = make_chip(
+                "LPDDR4-1y", "A", seed=4, geometry=GEOMETRY, hcfirst_target=10_000
+            )
+            return ExperimentSession(
+                chip, store=ResultStore(tmp_path / "store"), seed=4
+            )
+
+        first = session().run("alg1-characterization", config)
+        assert first.executed == 3
+
+        store = ResultStore(tmp_path / "store")
+        unit_files = store.entry_paths("alg1-characterization", units_only=True)
+        assert len(unit_files) == 3
+        unit_files[1].unlink()
+
+        resumed_session = session()
+        resumed = resumed_session.run("alg1-characterization", config)
+        assert resumed.executed == 1
+        assert resumed.cache_hits == 2
+        assert resumed.single().records == first.single().records
+
+        # A fully cached decomposed rerun touches the chip zero times.
+        replay_session = session()
+        replay = replay_session.run("alg1-characterization", config)
+        assert replay.executed == 0
+        assert all(chip.stats.activations == 0 for chip in replay_session.chips)
