@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""CI smoke for the experiment service: loopback fleet, one worker killed.
+
+Stands up the full distributed stack inside one CI job -- an in-process
+scheduler (:class:`repro.service.SchedulerThread`) plus **two real worker
+subprocesses** (``python -m repro.service worker``) -- and checks the
+service's two headline contracts:
+
+1. **bit identity** -- a simulator-backed Figure 10 sweep submitted
+   through :class:`repro.experiments.ServiceExecutor` merges payloads
+   bit-identical to a local :class:`SerialExecutor` run;
+2. **fault tolerance** -- with a deliberately slow study, one worker
+   process is SIGKILLed while it holds a lease: the scheduler requeues
+   exactly its incomplete units, the surviving worker re-executes them,
+   and the merged payload still matches the serial reference.
+
+Writes ``BENCH_service.json`` (throughput, lease/retry/requeue counters
+and recovery timings) next to ``BENCH_sim.json``/``BENCH_shard.json`` so
+the golden CI job can upload all three.  Exits non-zero on any contract
+violation.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/smoke_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.mitigation_study import MitigationStudyConfig
+from repro.experiments import ExperimentSession, SerialExecutor, ServiceExecutor
+from repro.service import SchedulerThread, ServiceClient
+from repro.service.selftest import ServiceSelfTestConfig
+
+#: Simulator-backed sweep for the bit-identity phase (two mixes so the
+#: unit count comfortably spans both workers' lease batches).
+FIG10_CONFIG = MitigationStudyConfig(
+    hcfirst_values=(2_000, 256),
+    mechanisms=("PARA", "ProHIT", "Ideal"),
+    num_mixes=2,
+    rows_per_bank=512,
+    dram_cycles=2_000,
+    requests_per_core=400,
+    seed=3,
+)
+
+#: Slow deterministic study for the kill phase: each unit sleeps long
+#: enough that the victim is reliably caught mid-lease.
+KILL_CONFIG = ServiceSelfTestConfig(units=8, rounds=50, unit_sleep_s=0.3, seed=4)
+
+
+def spawn_worker(host, port, name, batch):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service", "worker",
+            "--host", host, "--port", str(port),
+            "--name", name, "--batch", str(batch),
+        ],
+        env=env,
+    )
+
+
+def points_of(outcome):
+    return [point.to_dict() for point in outcome.single().points]
+
+
+def wait_for(predicate, timeout=60.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def fig10_phase(report):
+    """Two live workers, fig10 sweep, payloads vs SerialExecutor."""
+    started = time.perf_counter()
+    serial = ExperimentSession(executor=SerialExecutor(), seed=3).run(
+        "fig10-mitigations", FIG10_CONFIG
+    )
+    serial_wall = time.perf_counter() - started
+    reference = points_of(serial)
+
+    with SchedulerThread() as scheduler:
+        host, port = scheduler.address
+        workers = [spawn_worker(host, port, f"smoke-w{i}", batch=2) for i in range(2)]
+        try:
+            started = time.perf_counter()
+            service = ExperimentSession(
+                executor=ServiceExecutor(host, port, label="smoke-fig10"), seed=3
+            ).run("fig10-mitigations", FIG10_CONFIG)
+            service_wall = time.perf_counter() - started
+            with ServiceClient(host, port) as probe:
+                status = probe.status()
+        finally:
+            for worker in workers:
+                worker.terminate()
+            for worker in workers:
+                worker.wait(timeout=30.0)
+
+    identical = points_of(service) == reference
+    report["fig10"] = {
+        "units_total": service.units_total,
+        "serial_wall_s": round(serial_wall, 3),
+        "service_wall_s": round(service_wall, 3),
+        "service_units_per_s": round(service.units_total / service_wall, 2),
+        "retries": service.retries,
+        "requeues": service.requeues,
+        "identical": identical,
+        "counters": status["counters"],
+        "unit_seconds": status.get("unit_seconds"),
+        "throughput": status.get("throughput"),
+    }
+    assert identical, "service fig10 payloads differ from SerialExecutor"
+    assert service.retries == 0, "healthy fleet reported retries"
+    assert status["counters"]["units_completed"] == service.units_total
+
+
+def kill_phase(report):
+    """Two workers, one SIGKILLed mid-lease; run must recover bit-identically."""
+    serial = ExperimentSession(executor=SerialExecutor(), seed=9).run(
+        "service-selftest", KILL_CONFIG
+    )
+    with SchedulerThread(lease_ttl=2.0, backoff_base=0.05, backoff_cap=0.2) as scheduler:
+        host, port = scheduler.address
+        victim = spawn_worker(host, port, "victim", batch=2)
+        survivor = spawn_worker(host, port, "survivor", batch=1)
+        try:
+            box = {}
+
+            def run_study():
+                session = ExperimentSession(
+                    executor=ServiceExecutor(host, port, label="smoke-kill"), seed=9
+                )
+                box["result"] = session.run("service-selftest", KILL_CONFIG)
+
+            runner = threading.Thread(target=run_study, daemon=True)
+            started = time.perf_counter()
+            runner.start()
+
+            def victim_has_lease():
+                with ServiceClient(host, port) as probe:
+                    view = probe.status()["workers"].get("victim")
+                return view is not None and view["leases_granted"] >= 1
+
+            assert wait_for(victim_has_lease), "victim never got a lease"
+            time.sleep(0.1)  # mid-unit: each unit sleeps 0.3s
+            victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30.0)
+            killed_at = time.perf_counter()
+
+            runner.join(timeout=300.0)
+            assert not runner.is_alive(), "service run did not finish after the kill"
+            finished_at = time.perf_counter()
+            result = box["result"]
+            with ServiceClient(host, port) as probe:
+                status = probe.status()
+        finally:
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait(timeout=30.0)
+            survivor.terminate()
+            survivor.wait(timeout=30.0)
+
+    identical = result.single() == serial.single()
+    counters = status["counters"]
+    report["kill_recovery"] = {
+        "units_total": KILL_CONFIG.units,
+        "wall_s": round(finished_at - started, 3),
+        "recovered_in_s": round(finished_at - killed_at, 3),
+        "retries": result.retries,
+        "requeues": result.requeues,
+        "identical": identical,
+        "counters": counters,
+        "survivor_units": status["workers"]["survivor"]["units_completed"],
+    }
+    assert identical, "post-kill payload differs from SerialExecutor"
+    assert result.requeues >= 1, "the kill recovered zero units (raced the run?)"
+    assert counters["units_requeued"] == result.requeues
+    assert counters["units_completed"] == KILL_CONFIG.units
+    assert counters["duplicate_completions"] == 0
+    assert status["workers"]["victim"]["state"] == "dead"
+
+
+def main() -> int:
+    report = {"service": "repro.service", "workers": 2}
+    fig10_phase(report)
+    kill_phase(report)
+
+    out_path = REPO_ROOT / "BENCH_service.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nservice smoke OK -> {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,6 +66,7 @@ from repro.experiments import (
     ParallelExecutor,
     ResultStore,
     SerialExecutor,
+    ServiceExecutor,
     SessionRunResult,
     Study,
     StudyResult,
@@ -100,6 +101,7 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "ServiceExecutor",
     "ResultStore",
     "Study",
     "StudyResult",

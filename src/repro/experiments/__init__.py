@@ -50,6 +50,12 @@ pattern), each unit measuring a fresh hermetic chip copy.
 ``SessionRunResult.cache_hits`` / ``executed`` count at unit granularity,
 so progress reporting stays truthful for decomposed studies.
 
+Beyond one host, :class:`ServiceExecutor` ships the same work units to a
+:mod:`repro.service` scheduler, which leases them out to a multi-host
+worker fleet with retry/quarantine fault tolerance -- still bit-identical
+to :class:`SerialExecutor`, with recovery behaviour surfaced as
+``SessionRunResult.retries`` / ``requeues``.
+
 Quickstart
 ----------
 >>> from repro.experiments import ExperimentSession
@@ -84,6 +90,7 @@ from repro.experiments.executors import (
 )
 from repro.experiments.store import CacheKey, ResultStore, chip_digest
 from repro.experiments.session import ExperimentSession, SessionRunResult
+from repro.experiments.remote import ServiceExecutor
 
 __all__ = [
     "CacheKey",
@@ -95,6 +102,7 @@ __all__ = [
     "RegisteredStudy",
     "ResultStore",
     "SerialExecutor",
+    "ServiceExecutor",
     "SessionRunResult",
     "Study",
     "StudyResult",

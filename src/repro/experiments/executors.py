@@ -65,10 +65,19 @@ class StudyTask:
 
 @dataclass
 class TaskOutcome:
-    """Executor output for one task: the result plus the work performed."""
+    """Executor output for one task: the result plus the work performed.
+
+    ``attempts`` / ``requeues`` record recovery behaviour for backends that
+    can lose workers mid-task (``attempts`` = times the task was dispatched
+    until this result, ``requeues`` = leases reclaimed from dead or hung
+    workers; see :class:`repro.experiments.remote.ServiceExecutor`).  Local
+    executors always report the defaults: one attempt, no requeues.
+    """
 
     result: StudyResult
     stats: Optional[ChipStats]
+    attempts: int = 1
+    requeues: int = 0
 
 
 def execute_task(task: StudyTask) -> TaskOutcome:

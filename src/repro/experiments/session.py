@@ -108,6 +108,22 @@ class SessionRunResult:
         """Total work units behind this run's results."""
         return sum(result.units_total for result in self.results)
 
+    @property
+    def retries(self) -> int:
+        """Extra dispatch attempts beyond the first, summed over all units.
+
+        Always zero for local executors; for service runs (see
+        :class:`~repro.experiments.remote.ServiceExecutor`) this counts
+        every re-execution caused by worker deaths, expired leases or
+        worker-reported failures -- the recovery work behind the result.
+        """
+        return sum(result.units_retries for result in self.results)
+
+    @property
+    def requeues(self) -> int:
+        """Leases reclaimed from dead or hung workers, summed over all units."""
+        return sum(result.units_requeued for result in self.results)
+
 
 class ExperimentSession:
     """Runs registered studies over a chip population.
@@ -252,6 +268,8 @@ class ExperimentSession:
         unit_payloads: List[List[Any]] = [[None] * len(units) for _ in targets]
         units_cached: List[int] = [0] * len(targets)
         unit_elapsed: List[float] = [0.0] * len(targets)
+        units_retries: List[int] = [0] * len(targets)
+        units_requeued: List[int] = [0] * len(targets)
         pending_slots: List[Tuple[int, int]] = []
         pending_tasks: List[StudyTask] = []
         for t_index, chip in enumerate(targets):
@@ -286,6 +304,8 @@ class ExperimentSession:
             for (t_index, u_index), outcome in zip(pending_slots, outcomes):
                 unit_payloads[t_index][u_index] = outcome.result.payload
                 unit_elapsed[t_index] += outcome.result.elapsed_s
+                units_retries[t_index] += max(0, outcome.attempts - 1)
+                units_requeued[t_index] += outcome.requeues
                 chip = targets[t_index]
                 if chip is not None and outcome.stats is not None:
                     # The executor ran against a copy; fold the copy's
@@ -321,6 +341,8 @@ class ExperimentSession:
                     from_cache=units_cached[t_index] == len(units),
                     units_total=len(units),
                     units_from_cache=units_cached[t_index],
+                    units_retries=units_retries[t_index],
+                    units_requeued=units_requeued[t_index],
                 )
             )
 

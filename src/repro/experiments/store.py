@@ -20,6 +20,7 @@ config invalidates only the entries whose unit parameters changed.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import os
@@ -27,7 +28,12 @@ import pickle
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+try:  # POSIX advisory locking; absent on some platforms (e.g. Windows)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
 
 from repro.dram.chip import DramChip
 from repro.experiments.study import StudyResult, WorkUnit
@@ -115,10 +121,36 @@ class ResultStore:
     executions.
     """
 
+    #: Name of the advisory lock file kept at the store root.
+    LOCK_FILENAME = ".lock"
+
     def __init__(self, root: Optional[Union[str, os.PathLike]] = None) -> None:
         self.root = Path(root) if root is not None else None
         self.stats = StoreStats()
         self._memory: Dict[CacheKey, StudyResult] = {}
+
+    @contextlib.contextmanager
+    def _write_lock(self) -> Iterator[None]:
+        """Advisory exclusive lock over the store root for mutating operations.
+
+        Individual entry writes are already crash-safe (unique temp file +
+        atomic rename), but a scheduler checkpointing service results and a
+        local session can share one store directory; the ``flock`` on
+        ``<root>/.lock`` serializes their mutations so concurrent writers
+        never interleave a write with a ``clear()`` half-way through.  On
+        platforms without ``fcntl`` the store falls back to the (still
+        atomic-rename-safe) unlocked behaviour.
+        """
+        if self.root is None or fcntl is None:
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with (self.root / self.LOCK_FILENAME).open("a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     # ------------------------------------------------------------------
     # Key construction
@@ -178,17 +210,21 @@ class ResultStore:
         self._memory[key] = stored
         path = self._path(key)
         if path is not None:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # Per-writer unique temp name: concurrent processes sharing one
-            # store root each publish their own complete pickle atomically.
-            tmp = path.with_name(f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp")
-            try:
-                with tmp.open("wb") as handle:
-                    pickle.dump(stored, handle)
-                tmp.replace(path)
-            finally:
-                if tmp.exists():  # pragma: no cover - only on a failed dump
-                    tmp.unlink()
+            with self._write_lock():
+                path.parent.mkdir(parents=True, exist_ok=True)
+                # Per-writer unique temp name: concurrent processes sharing
+                # one store root each publish their own complete pickle
+                # atomically even if the advisory lock is unavailable.
+                tmp = path.with_name(
+                    f".{path.name}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+                )
+                try:
+                    with tmp.open("wb") as handle:
+                        pickle.dump(stored, handle)
+                    tmp.replace(path)
+                finally:
+                    if tmp.exists():  # pragma: no cover - only on a failed dump
+                        tmp.unlink()
         self.stats.puts += 1
 
     def contains(self, key: CacheKey) -> bool:
@@ -208,8 +244,10 @@ class ResultStore:
         dropped = self._memory.pop(key, None) is not None
         path = self._path(key)
         if path is not None and path.exists():
-            path.unlink()
-            dropped = True
+            with self._write_lock():
+                if path.exists():
+                    path.unlink()
+                    dropped = True
         return dropped
 
     def entry_paths(self, study: Optional[str] = None, units_only: bool = False) -> list:
@@ -235,11 +273,12 @@ class ResultStore:
         """Drop every cached result, in memory and on disk."""
         self._memory.clear()
         if self.root is not None and self.root.exists():
-            for study_dir in self.root.iterdir():
-                if not study_dir.is_dir():
-                    continue
-                for entry in study_dir.glob("*.pkl"):
-                    entry.unlink()
+            with self._write_lock():
+                for study_dir in self.root.iterdir():
+                    if not study_dir.is_dir():
+                        continue
+                    for entry in study_dir.glob("*.pkl"):
+                        entry.unlink()
 
     def __len__(self) -> int:
         if self.root is None:

@@ -279,6 +279,12 @@ class StudyResult:
     unit_digest: Optional[str] = None
     units_total: int = field(default=1, compare=False)
     units_from_cache: int = field(default=0, compare=False)
+    #: Recovery bookkeeping on a study-level result: extra dispatch attempts
+    #: beyond the first across the merged units (``units_retries``) and
+    #: leases reclaimed from dead/hung workers (``units_requeued``).  Local
+    #: executors leave both at zero; service runs report real recovery.
+    units_retries: int = field(default=0, compare=False)
+    units_requeued: int = field(default=0, compare=False)
 
     @property
     def configuration(self) -> Optional[Tuple[str, str]]:
@@ -306,6 +312,7 @@ _BUILTIN_STUDY_MODULES: Tuple[str, ...] = (
     "repro.core.ecc_analysis",
     "repro.core.probability",
     "repro.analysis.mitigation_study",
+    "repro.service.selftest",
 )
 _builtins_loaded = False
 
