@@ -199,6 +199,9 @@ def run_characterization(
     across the sweep, the sharded payload is not bit-identical to this
     monolithic reference -- each hammer count is instead measured from the
     same pristine state, which is the semantics the sharded study defines.
+    Each unit executes on the columnar chip core (vectorized pattern
+    writes, disturbs, and read-back diffs), bit-identical per unit to the
+    pre-columnar implementation, so cached unit digests replay unchanged.
     """
     return RowHammerCharacterizer(chip).run(config)
 

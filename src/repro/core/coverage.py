@@ -138,7 +138,10 @@ def run_pattern_coverage(chip: DramChip, config: CoverageStudyConfig) -> Coverag
     data pattern, each against a fresh copy of the chip, so every pattern's
     flip set is measured from the same pristine state (per-write
     refresh-epoch noise does not accumulate across patterns as it does in
-    this monolithic reference loop).
+    this monolithic reference loop).  Each unit executes on the columnar
+    chip core -- pattern writes, disturbs, and read-back diffs are whole-
+    neighbourhood vectorized ops -- with results bit-identical to the
+    pre-columnar implementation, so cached unit digests replay unchanged.
     """
     return pattern_coverage(
         chip,

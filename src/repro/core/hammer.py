@@ -144,33 +144,43 @@ class DoubleSidedHammer:
         for row in self.neighbourhood(victim_row):
             wordline = remapper.logical_to_physical(row)
             same_parity = (wordline - victim_wordline) % 2 == 0
-            byte = pattern.victim_byte if same_parity else pattern.aggressor_byte
-            self.chip.write_row(bank, row, byte)
-            written[row] = byte
+            written[row] = pattern.victim_byte if same_parity else pattern.aggressor_byte
+        self.chip.write_rows(bank, list(written), list(written.values()))
         return written
 
     def observe_flips(
         self, bank: int, victim_row: int, written: Dict[int, int]
     ) -> List[BitFlip]:
-        """Read back the neighbourhood and diff against the written pattern."""
+        """Read back the neighbourhood and diff against the written pattern.
+
+        The whole neighbourhood is read in one batched (ECC-decoded) call
+        and diffed as a matrix; flips are emitted in (row, ascending bit)
+        order, exactly as the row-at-a-time walk produced them.
+        """
+        rows = list(written)
+        if not rows:
+            return []
+        expected = np.unpackbits(
+            np.repeat(
+                np.array([written[row] for row in rows], dtype=np.uint8),
+                self.chip.geometry.row_bytes,
+            ).reshape(len(rows), self.chip.geometry.row_bytes),
+            axis=1,
+        )
+        observed = np.unpackbits(self.chip.read_rows(bank, rows), axis=1)
         flips: List[BitFlip] = []
-        for row, byte in written.items():
-            expected = np.unpackbits(
-                np.full(self.chip.geometry.row_bytes, byte, dtype=np.uint8)
-            )
-            observed = np.unpackbits(self.chip.read_row(bank, row))
-            differing = np.nonzero(expected != observed)[0]
-            for bit_index in differing:
-                flips.append(
-                    BitFlip(
-                        bank=bank,
-                        row=row,
-                        bit_index=int(bit_index),
-                        offset_from_victim=row - victim_row,
-                        expected_bit=int(expected[bit_index]),
-                        observed_bit=int(observed[bit_index]),
-                    )
+        for row_index, bit_index in np.argwhere(expected != observed):
+            row = rows[row_index]
+            flips.append(
+                BitFlip(
+                    bank=bank,
+                    row=row,
+                    bit_index=int(bit_index),
+                    offset_from_victim=row - victim_row,
+                    expected_bit=int(expected[row_index, bit_index]),
+                    observed_bit=int(observed[row_index, bit_index]),
                 )
+            )
         return flips
 
     # ------------------------------------------------------------------
@@ -238,8 +248,8 @@ class DoubleSidedHammer:
             flips=flips,
         )
         if restore and flips:
-            for row in sorted({flip.row for flip in flips}):
-                self.chip.write_row(bank, row, written[row])
+            flipped_rows = sorted({flip.row for flip in flips})
+            self.chip.write_rows(bank, flipped_rows, [written[row] for row in flipped_rows])
         return result
 
     def hammer_single_sided(

@@ -51,7 +51,14 @@ class SweepStudyConfig:
 
 @register_study("fig5-hc-sweep", config=SweepStudyConfig)
 def run_hammer_count_sweep(chip: DramChip, config: SweepStudyConfig) -> SweepResult:
-    """Hammer-count versus bit-flip-rate sweep (Figure 5, Observations 4-5)."""
+    """Hammer-count versus bit-flip-rate sweep (Figure 5, Observations 4-5).
+
+    Runs as one whole-study work unit (the sweep's points share mutated
+    chip state, so the hammer-count axis must stay sequential); within it
+    every per-victim hammer executes on the columnar chip core as
+    vectorized whole-neighbourhood ops, bit-identical to the pre-columnar
+    implementation, so cached study digests replay unchanged.
+    """
     data_pattern = (
         pattern_by_name(config.data_pattern) if config.data_pattern is not None else None
     )

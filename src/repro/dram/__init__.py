@@ -5,6 +5,40 @@ with a calibrated stochastic device model (see DESIGN.md section 2).  The
 observable interface of a :class:`~repro.dram.chip.DramChip` is the same set
 of operations the paper's testing infrastructure performs on real chips:
 write a row, activate (hammer) a row, refresh, and read a row back.
+
+Columnar state layout
+---------------------
+Chip state is *columnar* (structure-of-arrays): each touched bank owns one
+:class:`~repro.dram.columnar.BankColumns` whose whole-bank numpy arrays are
+what the hammer/refresh kernels operate on --
+
+* ``bits (rows, row_bits)`` and ``check_bits (rows, check_bits_per_row)``
+  hold the stored data and on-die-ECC check bits of every row;
+* ``written (rows,)`` / ``epoch (rows,)`` track which rows hold data and
+  their refresh epoch (the key for per-epoch threshold noise);
+* ``exposure (wordlines,)`` accumulates weighted disturbance per physical
+  wordline, with ``exposure_present`` recording which wordlines have an
+  exposure entry at all (the old implementation tracked this as dict-key
+  presence; ``is_pristine`` is exactly "no written rows and no exposure
+  entries");
+* thresholds, coupling-class requirements, and per-epoch noise are lazily
+  sampled ``(rows, row_bits)`` matrices, one independent RNG stream per
+  row, so any access order yields the same values.
+
+One ``activate`` / ``hammer_pair`` disturbs every victim row of the blast
+radius in a single vectorized op, and
+:class:`~repro.dram.population.ChipPopulation` extends the same arrays
+with a leading chip axis to hammer a whole Table 1 population at once.
+
+The pre-refactor object-at-a-time API is preserved as thin views:
+``write_row`` / ``read_row`` index single rows of the arrays, and the
+``chip._rows`` mapping used by white-box tests yields live row views whose
+``bits`` / ``check_bits`` / ``epoch`` read (and, for ``bits``, write)
+through to the columns.  :class:`~repro.dram.reference.ReferenceDramChip`
+retains the original dict-of-rows implementation as the oracle the
+differential suite pins the vectorized kernels against, and
+:func:`~repro.dram.chip.state_digest` hashes any backend's observable raw
+state for those comparisons.
 """
 
 from repro.dram.spec import DramType, DramTypeSpec, SPECS, spec_for
@@ -23,9 +57,16 @@ from repro.dram.vulnerability import (
     profile_for,
     TypeNode,
 )
-from repro.dram.chip import DramChip
+from repro.dram.chip import DramChip, state_digest
+from repro.dram.reference import ReferenceDramChip
 from repro.dram.module import DramModule
-from repro.dram.population import make_chip, make_module, make_population, PopulationEntry
+from repro.dram.population import (
+    ChipPopulation,
+    make_chip,
+    make_module,
+    make_population,
+    PopulationEntry,
+)
 
 __all__ = [
     "DramType",
@@ -45,6 +86,9 @@ __all__ = [
     "profile_for",
     "TypeNode",
     "DramChip",
+    "ReferenceDramChip",
+    "state_digest",
+    "ChipPopulation",
     "DramModule",
     "make_chip",
     "make_module",

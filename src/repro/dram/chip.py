@@ -9,7 +9,10 @@ infrastructure performs against real chips:
 * ``hammer_pair`` -- bulk double-sided hammering (the worst-case access
   sequence of Section 4.3);
 * ``refresh_row`` / ``refresh_all`` -- restore cell charge, resetting the
-  accumulated disturbance.
+  accumulated disturbance;
+* ``write_rows`` / ``read_rows`` / ``read_rows_raw`` -- batch counterparts
+  that move whole row-lists in one vectorized payload, the way the FPGA
+  testers the paper builds on batch row programs to the board.
 
 Disturbance model
 -----------------
@@ -21,22 +24,36 @@ stored data matches the cell's coupling class (see
 :mod:`repro.dram.vulnerability`).  Flipped cells stay flipped until the row
 is rewritten; refreshing a row resets its exposure but cannot recover a bit
 that has already flipped, exactly as in a real device.
+
+State layout
+------------
+Chip state is columnar: each touched bank owns one
+:class:`~repro.dram.columnar.BankColumns` of whole-bank numpy arrays (bits,
+refresh epochs, wordline exposure, lazily sampled thresholds / coupling
+classes / noise), so an aggressor application disturbs every victim row of
+the blast radius in one vectorized op instead of per-row dict updates.  The
+legacy per-row mapping survives as the read/write *view* ``chip._rows``
+(used by white-box tests), and :class:`~repro.dram.reference.ReferenceDramChip`
+retains the original dict-of-rows implementation as the bit-identity oracle
+for the differential suite.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.dram.columnar import BankColumns
 from repro.dram.geometry import ChipGeometry
 from repro.dram.remapping import RowRemapper, remapper_for
 from repro.dram.spec import DramTypeSpec, spec_for
 from repro.dram.vulnerability import VulnerabilityProfile
 from repro.ecc.ondie import OnDieEcc
-from repro.utils.rng import derive_seed, make_rng
+from repro.utils.rng import make_rng
 
 #: Default geometry used when none is supplied: small enough that exhaustive
 #: characterization sweeps finish quickly, large enough for meaningful
@@ -77,34 +94,86 @@ class ChipStats:
         self.bit_flips_induced += other.bit_flips_induced
 
 
-@dataclass
-class _RowState:
-    """Mutable per-logical-row storage."""
+class _RowStateView:
+    """Live view of one written row's storage.
 
-    bits: np.ndarray
-    check_bits: Optional[np.ndarray]
-    epoch: int = 0
+    Mirrors the old per-row ``_RowState`` object: ``bits`` is a writable
+    view into the bank's bit matrix (white-box tests flip bits through it),
+    ``check_bits`` / ``epoch`` read the corresponding columns.
+    """
+
+    __slots__ = ("_columns", "_row")
+
+    def __init__(self, columns: BankColumns, row: int) -> None:
+        self._columns = columns
+        self._row = row
+
+    @property
+    def bits(self) -> np.ndarray:
+        return self._columns.bits[self._row]
+
+    @property
+    def check_bits(self) -> Optional[np.ndarray]:
+        if self._columns.check_bits is None:
+            return None
+        return self._columns.check_bits[self._row]
+
+    @property
+    def epoch(self) -> int:
+        return int(self._columns.epoch[self._row])
 
 
-class DramChip:
-    """One simulated DRAM chip with a calibrated RowHammer vulnerability.
+class _RowsView:
+    """Read-only mapping facade over the written rows of all banks.
 
-    Parameters
-    ----------
-    profile:
-        The :class:`~repro.dram.vulnerability.VulnerabilityProfile` of the
-        chip's type-node configuration and manufacturer.
-    geometry:
-        Simulated chip dimensions; defaults to :data:`DEFAULT_GEOMETRY`.
-    seed:
-        Seed controlling every stochastic aspect of this chip (cell
-        thresholds, coupling classes, chip-to-chip variation).
-    hcfirst_target:
-        Optional override of the chip's target ``HC_first`` in hammers.  When
-        omitted it is sampled from the profile; chips the profile deems not
-        RowHammerable receive a target above the 150k-hammer test limit.
-    chip_id:
-        Free-form identifier used in reports.
+    Keyed by ``(bank, row)`` like the old ``_rows`` dict; raises ``KeyError``
+    for rows that have never been written.
+    """
+
+    __slots__ = ("_chip",)
+
+    def __init__(self, chip: "DramChip") -> None:
+        self._chip = chip
+
+    def __getitem__(self, key: Tuple[int, int]) -> _RowStateView:
+        bank, row = key
+        columns = self._chip._banks.get(bank)
+        if columns is None or not columns.written[row]:
+            raise KeyError(key)
+        return _RowStateView(columns, int(row))
+
+    def get(self, key: Tuple[int, int], default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return self.get(key) is not None
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        for bank, columns in sorted(self._chip._banks.items()):
+            for row in np.nonzero(columns.written)[0]:
+                yield (bank, int(row))
+
+    def __len__(self) -> int:
+        return sum(
+            int(columns.written.sum()) for columns in self._chip._banks.values()
+        )
+
+    def __bool__(self) -> bool:
+        return any(columns.written.any() for columns in self._chip._banks.values())
+
+
+class _CalibratedChip:
+    """Construction-time calibration shared by every chip backend.
+
+    Owns everything a chip *is* before any operation touches it: profile,
+    geometry, remapper, on-die ECC, the sampled ``HC_first`` target, the
+    derived threshold power-law scale/floor, and the planted weakest cell.
+    Subclasses supply the state representation and the disturb kernel
+    (:class:`DramChip` columnar arrays,
+    :class:`~repro.dram.reference.ReferenceDramChip` per-row dicts).
     """
 
     #: Hammer-count ceiling used by the paper's characterization (Section 5.1).
@@ -166,12 +235,6 @@ class DramChip:
         # flip-count-versus-HC curve above HC_first unchanged.
         self._threshold_floor = 2.0 * calibration_target
         self._planted_cell = self._choose_planted_cell(chip_rng)
-
-        self._rows: Dict[Tuple[int, int], _RowState] = {}
-        self._exposure: Dict[Tuple[int, int], float] = {}
-        self._thresholds: Dict[Tuple[int, int], np.ndarray] = {}
-        self._classes: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-        self._noise_cache: Dict[Tuple[int, int], Tuple[int, np.ndarray]] = {}
         self._column_parity = (np.arange(self.geometry.row_bits) % 2).astype(np.uint8)
 
     def _choose_planted_cell(self, rng) -> Tuple[int, int, int]:
@@ -220,49 +283,13 @@ class DramChip:
         """Whether reads pass through an undisableable on-die SEC ECC."""
         return self._ondie_ecc is not None
 
-    @property
-    def is_pristine(self) -> bool:
-        """Whether the chip is still in its as-constructed state.
-
-        True until the first row write or activation.  A pristine chip's
-        observable behaviour is a pure function of its construction
-        parameters, which is what lets the experiments result store key
-        cached study results by those parameters alone.
-        """
-        return not self._rows and not self._exposure
-
     def is_rowhammerable(self, hammer_limit: int = TEST_LIMIT_HC) -> bool:
         """Whether the chip's weakest cell is expected to flip within the limit."""
         return self._hcfirst_target <= hammer_limit
 
     # ------------------------------------------------------------------
-    # Data path
+    # Shared operation surface (delegates to the backend kernels)
     # ------------------------------------------------------------------
-    def write_row(self, bank: int, row: int, data: RowData) -> None:
-        """Write a full row.
-
-        ``data`` may be a fill byte (``int``), a byte buffer of exactly
-        ``row_bytes`` bytes, or a bit array of ``row_bits`` bits.  Writing a
-        row restores its charge: accumulated disturbance on its wordline is
-        cleared and any previously flipped cells take the new value.
-        """
-        self.geometry.validate_address(bank, row)
-        bits = self._coerce_row_bits(data)
-        state = self._rows.get((bank, row))
-        check_bits = None
-        if self._ondie_ecc is not None:
-            check_bits = self._ondie_ecc.encode_row(bits)
-        if state is None:
-            state = _RowState(bits=bits, check_bits=check_bits, epoch=1)
-            self._rows[(bank, row)] = state
-        else:
-            state.bits = bits
-            state.check_bits = check_bits
-            state.epoch += 1
-        wordline = self.remapper.logical_to_physical(row)
-        self._exposure[(bank, wordline)] = 0.0
-        self.stats.row_writes += 1
-
     def fill_bank(self, bank: int, victim_byte: int, aggressor_byte: Optional[int] = None) -> None:
         """Write every row of a bank with a repeated byte pattern.
 
@@ -271,37 +298,18 @@ class DramChip:
         wordlines); this matches how row-stripe and checkered patterns are
         laid out in memory before hammering (Section 4.3).
         """
-        for row in range(self.geometry.rows_per_bank):
-            if aggressor_byte is None:
-                self.write_row(bank, row, victim_byte)
-            else:
-                wordline = self.remapper.logical_to_physical(row)
-                byte = victim_byte if wordline % 2 == 0 else aggressor_byte
-                self.write_row(bank, row, byte)
+        rows = range(self.geometry.rows_per_bank)
+        if aggressor_byte is None:
+            data: List[RowData] = [victim_byte] * self.geometry.rows_per_bank
+        else:
+            data = [
+                victim_byte
+                if self.remapper.logical_to_physical(row) % 2 == 0
+                else aggressor_byte
+                for row in rows
+            ]
+        self.write_rows(bank, rows, data)
 
-    def read_row(self, bank: int, row: int) -> np.ndarray:
-        """Read a row as bytes, through on-die ECC when the chip has it."""
-        self.geometry.validate_address(bank, row)
-        self.stats.row_reads += 1
-        state = self._rows.get((bank, row))
-        if state is None:
-            return np.zeros(self.geometry.row_bytes, dtype=np.uint8)
-        bits = state.bits
-        if self._ondie_ecc is not None and state.check_bits is not None:
-            bits, _corrected = self._ondie_ecc.decode_row(bits, state.check_bits)
-        return np.packbits(bits)
-
-    def read_row_raw(self, bank: int, row: int) -> np.ndarray:
-        """Read the raw stored bits of a row, bypassing on-die ECC."""
-        self.geometry.validate_address(bank, row)
-        state = self._rows.get((bank, row))
-        if state is None:
-            return np.zeros(self.geometry.row_bits, dtype=np.uint8)
-        return state.bits.copy()
-
-    # ------------------------------------------------------------------
-    # Activation / hammering
-    # ------------------------------------------------------------------
     def activate(self, bank: int, row: int, count: int = 1) -> int:
         """Activate a logical row ``count`` times (single-sided hammering).
 
@@ -329,23 +337,11 @@ class DramChip:
         flips += self._apply_aggressor(bank, row_b, count)
         return flips
 
-    # ------------------------------------------------------------------
-    # Refresh
-    # ------------------------------------------------------------------
-    def refresh_row(self, bank: int, row: int) -> None:
-        """Refresh one logical row, clearing its wordline's accumulated exposure."""
-        self.geometry.validate_address(bank, row)
-        wordline = self.remapper.logical_to_physical(row)
-        self._refresh_wordline(bank, wordline)
-        self.stats.refreshes += 1
+    def _apply_aggressor(self, bank: int, aggressor_row: int, count: int) -> int:
+        raise NotImplementedError
 
-    def refresh_all(self) -> None:
-        """Refresh every row in the chip."""
-        self._exposure.clear()
-        for state in self._rows.values():
-            state.epoch += 1
-        self._noise_cache.clear()
-        self.stats.refreshes += 1
+    def write_rows(self, bank: int, rows: Sequence[int], data) -> None:
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Internal helpers
@@ -369,152 +365,325 @@ class DramChip:
             f"got {array.size} elements"
         )
 
-    def _refresh_wordline(self, bank: int, wordline: int) -> None:
-        self._exposure.pop((bank, wordline), None)
-        for logical in self.remapper.physical_to_logical(wordline):
-            if not 0 <= logical < self.geometry.rows_per_bank:
-                continue
-            state = self._rows.get((bank, logical))
-            if state is not None:
-                state.epoch += 1
-            self._noise_cache.pop((bank, logical), None)
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"{type(self).__name__}(id={self.chip_id!r}, config={self.profile.type_node.value}/"
+            f"{self.profile.manufacturer}, hcfirst_target={self._hcfirst_target:.0f})"
+        )
 
-    def _apply_aggressor(self, bank: int, aggressor_row: int, count: int) -> int:
-        """Apply ``count`` activations of one aggressor row and induce flips."""
-        aggressor_wordline = self.remapper.logical_to_physical(aggressor_row)
-        # Opening the aggressor row restores its own charge.
-        self._exposure[(bank, aggressor_wordline)] = 0.0
-        aggressor_bits = self._wordline_bits(bank, aggressor_wordline)
-        new_flips = 0
-        max_wordline = self.remapper.num_wordlines(self.geometry.rows_per_bank)
-        for distance, coupling in self.profile.distance_coupling.items():
-            for victim_wordline in (aggressor_wordline - distance, aggressor_wordline + distance):
-                if not 0 <= victim_wordline < max_wordline:
-                    continue
-                key = (bank, victim_wordline)
-                self._exposure[key] = self._exposure.get(key, 0.0) + coupling * count
-                new_flips += self._disturb_wordline(
-                    bank, victim_wordline, self._exposure[key], aggressor_bits
-                )
-        self.stats.bit_flips_induced += new_flips
-        return new_flips
 
-    def _wordline_bits(self, bank: int, wordline: int) -> Optional[np.ndarray]:
+class DramChip(_CalibratedChip):
+    """One simulated DRAM chip with a calibrated RowHammer vulnerability.
+
+    Parameters
+    ----------
+    profile:
+        The :class:`~repro.dram.vulnerability.VulnerabilityProfile` of the
+        chip's type-node configuration and manufacturer.
+    geometry:
+        Simulated chip dimensions; defaults to :data:`DEFAULT_GEOMETRY`.
+    seed:
+        Seed controlling every stochastic aspect of this chip (cell
+        thresholds, coupling classes, chip-to-chip variation).
+    hcfirst_target:
+        Optional override of the chip's target ``HC_first`` in hammers.  When
+        omitted it is sampled from the profile; chips the profile deems not
+        RowHammerable receive a target above the 150k-hammer test limit.
+    chip_id:
+        Free-form identifier used in reports.
+
+    State is columnar (:class:`~repro.dram.columnar.BankColumns` per touched
+    bank); ``chip._rows`` remains available as a live mapping view for
+    white-box tests.
+    """
+
+    def __init__(
+        self,
+        profile: VulnerabilityProfile,
+        geometry: Optional[ChipGeometry] = None,
+        seed: int = 0,
+        hcfirst_target: Optional[float] = None,
+        chip_id: str = "",
+    ) -> None:
+        super().__init__(profile, geometry, seed, hcfirst_target, chip_id)
+        self._banks: Dict[int, BankColumns] = {}
+        self._num_wordlines = self.remapper.num_wordlines(self.geometry.rows_per_bank)
+        self._rows = _RowsView(self)
+
+    def _bank(self, bank: int) -> BankColumns:
+        columns = self._banks.get(bank)
+        if columns is None:
+            check_bits = (
+                self._ondie_ecc.check_bits_per_row(self.geometry.row_bits)
+                if self._ondie_ecc is not None
+                else 0
+            )
+            columns = BankColumns(
+                bank,
+                self.geometry.rows_per_bank,
+                self.geometry.row_bits,
+                self._num_wordlines,
+                check_bits,
+            )
+            self._banks[bank] = columns
+        return columns
+
+    @property
+    def is_pristine(self) -> bool:
+        """Whether the chip is still in its as-constructed state.
+
+        True until the first row write or activation.  A pristine chip's
+        observable behaviour is a pure function of its construction
+        parameters, which is what lets the experiments result store key
+        cached study results by those parameters alone.
+        """
+        return not any(columns.touched for columns in self._banks.values())
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def write_row(self, bank: int, row: int, data: RowData) -> None:
+        """Write a full row.
+
+        ``data`` may be a fill byte (``int``), a byte buffer of exactly
+        ``row_bytes`` bytes, or a bit array of ``row_bits`` bits.  Writing a
+        row restores its charge: accumulated disturbance on its wordline is
+        cleared and any previously flipped cells take the new value.
+        """
+        self.geometry.validate_address(bank, row)
+        bits = self._coerce_row_bits(data)
+        columns = self._bank(bank)
+        columns.bits[row] = bits
+        if self._ondie_ecc is not None:
+            columns.check_bits[row] = self._ondie_ecc.encode_row(bits)
+        columns.epoch[row] = columns.epoch[row] + 1 if columns.written[row] else 1
+        columns.written[row] = True
+        wordline = self.remapper.logical_to_physical(row)
+        columns.exposure[wordline] = 0.0
+        columns.exposure_present[wordline] = True
+        self.stats.row_writes += 1
+
+    def write_rows(self, bank: int, rows: Sequence[int], data) -> None:
+        """Write a batch of rows in one vectorized payload.
+
+        ``rows`` is a sequence of logical row numbers; ``data`` is either a
+        single fill byte applied to every row or a sequence of per-row
+        values accepted by :meth:`write_row`.  Semantically identical to
+        writing the rows one at a time in order (duplicate rows fall back to
+        exactly that).
+        """
+        rows = [int(row) for row in rows]
+        if isinstance(data, (int, np.integer)):
+            data = [data] * len(rows)
+        if len(data) != len(rows):
+            raise ValueError(f"expected {len(rows)} row payloads, got {len(data)}")
+        if not rows:
+            return
+        if len(set(rows)) != len(rows):
+            # Later duplicates overwrite earlier ones; keep strict
+            # write-at-a-time semantics for that (rare) case.
+            for row, row_data in zip(rows, data):
+                self.write_row(bank, row, row_data)
+            return
+        for row in rows:
+            self.geometry.validate_address(bank, row)
+        bits = np.stack([self._coerce_row_bits(row_data) for row_data in data])
+        columns = self._bank(bank)
+        index = np.asarray(rows, dtype=np.intp)
+        columns.bits[index] = bits
+        if self._ondie_ecc is not None:
+            columns.check_bits[index] = self._ondie_ecc.encode_row(
+                bits.reshape(-1)
+            ).reshape(len(rows), -1)
+        columns.epoch[index] = np.where(columns.written[index], columns.epoch[index] + 1, 1)
+        columns.written[index] = True
+        wordlines = np.asarray(
+            [self.remapper.logical_to_physical(row) for row in rows], dtype=np.intp
+        )
+        columns.exposure[wordlines] = 0.0
+        columns.exposure_present[wordlines] = True
+        self.stats.row_writes += len(rows)
+
+    def read_row(self, bank: int, row: int) -> np.ndarray:
+        """Read a row as bytes, through on-die ECC when the chip has it."""
+        self.geometry.validate_address(bank, row)
+        self.stats.row_reads += 1
+        columns = self._banks.get(bank)
+        if columns is None or not columns.written[row]:
+            return np.zeros(self.geometry.row_bytes, dtype=np.uint8)
+        bits = columns.bits[row]
+        if self._ondie_ecc is not None and columns.check_bits is not None:
+            bits, _corrected = self._ondie_ecc.decode_row(bits, columns.check_bits[row])
+        return np.packbits(bits)
+
+    def read_rows(self, bank: int, rows: Sequence[int]) -> np.ndarray:
+        """Read a batch of rows as a ``(len(rows), row_bytes)`` byte matrix.
+
+        Equivalent to stacking :meth:`read_row` results (ECC decode is
+        batched across the written rows in one call).
+        """
+        rows = [int(row) for row in rows]
+        for row in rows:
+            self.geometry.validate_address(bank, row)
+        self.stats.row_reads += len(rows)
+        out = np.zeros((len(rows), self.geometry.row_bits), dtype=np.uint8)
+        columns = self._banks.get(bank)
+        if columns is not None and rows:
+            index = np.asarray(rows, dtype=np.intp)
+            written = np.nonzero(columns.written[index])[0]
+            if written.size:
+                stored = columns.bits[index[written]]
+                if self._ondie_ecc is not None and columns.check_bits is not None:
+                    decoded, _corrected = self._ondie_ecc.decode_row(
+                        stored.reshape(-1),
+                        columns.check_bits[index[written]].reshape(-1),
+                    )
+                    stored = decoded.reshape(written.size, -1)
+                out[written] = stored
+        return np.packbits(out, axis=1)
+
+    def read_row_raw(self, bank: int, row: int) -> np.ndarray:
+        """Read the raw stored bits of a row, bypassing on-die ECC."""
+        self.geometry.validate_address(bank, row)
+        columns = self._banks.get(bank)
+        if columns is None or not columns.written[row]:
+            return np.zeros(self.geometry.row_bits, dtype=np.uint8)
+        return columns.bits[row].copy()
+
+    def read_rows_raw(self, bank: int, rows: Sequence[int]) -> np.ndarray:
+        """Raw stored bits of a batch of rows as ``(len(rows), row_bits)``."""
+        rows = [int(row) for row in rows]
+        for row in rows:
+            self.geometry.validate_address(bank, row)
+        columns = self._banks.get(bank)
+        if columns is None:
+            return np.zeros((len(rows), self.geometry.row_bits), dtype=np.uint8)
+        index = np.asarray(rows, dtype=np.intp)
+        out = columns.bits[index].copy()
+        out[~columns.written[index]] = 0
+        return out
+
+    # ------------------------------------------------------------------
+    # Refresh
+    # ------------------------------------------------------------------
+    def refresh_row(self, bank: int, row: int) -> None:
+        """Refresh one logical row, clearing its wordline's accumulated exposure."""
+        self.geometry.validate_address(bank, row)
+        columns = self._banks.get(bank)
+        if columns is not None:
+            wordline = self.remapper.logical_to_physical(row)
+            columns.exposure[wordline] = 0.0
+            columns.exposure_present[wordline] = False
+            for logical in self.remapper.physical_to_logical(wordline):
+                if 0 <= logical < self.geometry.rows_per_bank and columns.written[logical]:
+                    columns.epoch[logical] += 1
+        self.stats.refreshes += 1
+
+    def refresh_all(self) -> None:
+        """Refresh every row in the chip."""
+        for columns in self._banks.values():
+            columns.exposure.fill(0.0)
+            columns.exposure_present.fill(False)
+            columns.epoch[columns.written] += 1
+        self.stats.refreshes += 1
+
+    # ------------------------------------------------------------------
+    # Disturbance kernel
+    # ------------------------------------------------------------------
+    def _wordline_bits(self, columns: BankColumns, wordline: int) -> np.ndarray:
         """Stored bits of the (first) logical row on a physical wordline."""
         for logical in self.remapper.physical_to_logical(wordline):
             if not 0 <= logical < self.geometry.rows_per_bank:
                 continue
-            state = self._rows.get((bank, logical))
-            if state is not None:
-                return state.bits
-            return np.zeros(self.geometry.row_bits, dtype=np.uint8)
-        return None
+            if columns.written[logical]:
+                return columns.bits[logical]
+            break
+        return np.zeros(self.geometry.row_bits, dtype=np.uint8)
 
-    def _disturb_wordline(
-        self,
-        bank: int,
-        victim_wordline: int,
-        exposure: float,
-        aggressor_bits: Optional[np.ndarray],
-    ) -> int:
-        """Flip cells on a victim wordline whose thresholds are exceeded."""
-        if aggressor_bits is None:
-            aggressor_bits = np.zeros(self.geometry.row_bits, dtype=np.uint8)
-        flips = 0
-        for logical in self.remapper.physical_to_logical(victim_wordline):
-            if not 0 <= logical < self.geometry.rows_per_bank:
-                continue
-            state = self._rows.get((bank, logical))
-            if state is None:
-                # A row that has never been written holds no meaningful data;
-                # flips in it would not be observable, so skip the work.
-                continue
-            thresholds = self._effective_thresholds(bank, logical, state.epoch)
-            eligible = thresholds <= exposure
-            if not eligible.any():
-                continue
-            required_victim, required_aggressor, required_parity = self._cell_classes(bank, logical)
-            match = (
-                eligible
-                & (state.bits == required_victim)
-                & (aggressor_bits == required_aggressor)
-                & ((required_parity == 2) | (self._column_parity == required_parity))
-            )
-            flip_count = int(match.sum())
-            if flip_count:
-                state.bits[match] ^= 1
-                flips += flip_count
+    def _apply_aggressor(self, bank: int, aggressor_row: int, count: int) -> int:
+        """Apply ``count`` activations of one aggressor row and induce flips.
+
+        All victim rows of the blast radius are disturbed in one vectorized
+        op.  Within a single application every victim wordline is distinct
+        from every other and from the aggressor wordline, so batching with
+        each wordline's post-increment exposure is exactly equivalent to the
+        sequential per-wordline walk.
+        """
+        columns = self._bank(bank)
+        aggressor_wordline = self.remapper.logical_to_physical(aggressor_row)
+        # Opening the aggressor row restores its own charge.
+        columns.exposure[aggressor_wordline] = 0.0
+        columns.exposure_present[aggressor_wordline] = True
+        aggressor_bits = self._wordline_bits(columns, aggressor_wordline)
+
+        victim_rows: List[int] = []
+        victim_exposure: List[float] = []
+        for distance, coupling in self.profile.distance_coupling.items():
+            for victim_wordline in (
+                aggressor_wordline - distance,
+                aggressor_wordline + distance,
+            ):
+                if not 0 <= victim_wordline < self._num_wordlines:
+                    continue
+                columns.exposure[victim_wordline] += coupling * count
+                columns.exposure_present[victim_wordline] = True
+                exposure = float(columns.exposure[victim_wordline])
+                for logical in self.remapper.physical_to_logical(victim_wordline):
+                    if 0 <= logical < self.geometry.rows_per_bank and columns.written[logical]:
+                        # A row that has never been written holds no
+                        # meaningful data; flips in it would not be
+                        # observable, so skip the work.
+                        victim_rows.append(logical)
+                        victim_exposure.append(exposure)
+        if not victim_rows:
+            return 0
+
+        index = np.asarray(victim_rows, dtype=np.intp)
+        exposure = np.asarray(victim_exposure, dtype=np.float64)
+        effective = columns.thresholds_for(
+            index,
+            seed=self.seed,
+            scale=self._threshold_scale,
+            slope=self.profile.flip_slope,
+            floor=self._threshold_floor,
+            planted_cell=self._planted_cell,
+        )
+        sigma = self.profile.threshold_noise_sigma
+        if sigma > 0:
+            effective = effective * columns.noise_for(index, seed=self.seed, sigma=sigma)
+        eligible = effective <= exposure[:, None]
+        if not eligible.any():
+            return 0
+        required_victim, required_aggressor, required_parity = columns.classes_for(
+            index, seed=self.seed, profile=self.profile, planted_cell=self._planted_cell
+        )
+        match = (
+            eligible
+            & (columns.bits[index] == required_victim)
+            & (aggressor_bits[None, :] == required_aggressor)
+            & ((required_parity == 2) | (self._column_parity[None, :] == required_parity))
+        )
+        flips = int(np.count_nonzero(match))
+        if flips:
+            # Victim rows within one application are distinct, so the fused
+            # gather-xor-scatter cannot double-apply a flip.
+            columns.bits[index] = columns.bits[index] ^ match.astype(np.uint8)
+        self.stats.bit_flips_induced += flips
         return flips
 
-    def _base_thresholds(self, bank: int, row: int) -> np.ndarray:
-        """Per-cell RowHammer thresholds (exposure units) for a logical row."""
-        key = (bank, row)
-        cached = self._thresholds.get(key)
-        if cached is not None:
-            return cached
-        rng = make_rng(self.seed, "thresholds", bank, row)
-        uniform = rng.random(self.geometry.row_bits)
-        # Inverse transform of P(T <= e) = scale * e**slope (capped at 1),
-        # floored at the planted weakest cell's threshold.
-        thresholds = (uniform / self._threshold_scale) ** (1.0 / self.profile.flip_slope)
-        np.maximum(thresholds, self._threshold_floor, out=thresholds)
-        planted_bank, planted_row, planted_column = self._planted_cell
-        if (bank, row) == (planted_bank, planted_row):
-            thresholds[planted_column] = self._threshold_floor
-        self._thresholds[key] = thresholds
-        return thresholds
 
-    def _effective_thresholds(self, bank: int, row: int, epoch: int) -> np.ndarray:
-        """Base thresholds with per-refresh-epoch jitter applied."""
-        sigma = self.profile.threshold_noise_sigma
-        base = self._base_thresholds(bank, row)
-        if sigma <= 0:
-            return base
-        cached = self._noise_cache.get((bank, row))
-        if cached is not None and cached[0] == epoch:
-            noise = cached[1]
-        else:
-            rng = make_rng(self.seed, "noise", bank, row, epoch)
-            noise = np.exp(rng.normal(0.0, sigma, self.geometry.row_bits))
-            self._noise_cache[(bank, row)] = (epoch, noise)
-        return base * noise
+def state_digest(chip) -> str:
+    """Hex digest of a chip's observable raw state.
 
-    def _cell_classes(self, bank: int, row: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Per-cell coupling-class requirements for a logical row.
-
-        Returns ``(required_victim_bit, required_aggressor_bit,
-        required_parity)`` arrays; ``required_parity`` uses 2 for "any
-        column".
-        """
-        key = (bank, row)
-        cached = self._classes.get(key)
-        if cached is not None:
-            return cached
-        rng = make_rng(self.seed, "classes", bank, row)
-        probabilities = self.profile.class_probabilities()
-        class_indices = rng.choice(len(probabilities), size=self.geometry.row_bits, p=probabilities)
-        required_victim = np.empty(self.geometry.row_bits, dtype=np.uint8)
-        required_aggressor = np.empty(self.geometry.row_bits, dtype=np.uint8)
-        required_parity = np.empty(self.geometry.row_bits, dtype=np.uint8)
-        for index, cls in enumerate(self.profile.coupling_classes):
-            mask = class_indices == index
-            required_victim[mask] = cls.victim_bit
-            required_aggressor[mask] = cls.aggressor_bit
-            required_parity[mask] = 2 if cls.column_parity is None else cls.column_parity
-        planted_bank, planted_row, planted_column = self._planted_cell
-        if (bank, row) == (planted_bank, planted_row):
-            dominant = self.profile.coupling_classes[0]
-            required_victim[planted_column] = dominant.victim_bit
-            required_aggressor[planted_column] = dominant.aggressor_bit
-            required_parity[planted_column] = (
-                2 if dominant.column_parity is None else dominant.column_parity
-            )
-        result = (required_victim, required_aggressor, required_parity)
-        self._classes[key] = result
-        return result
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return (
-            f"DramChip(id={self.chip_id!r}, config={self.profile.type_node.value}/"
-            f"{self.profile.manufacturer}, hcfirst_target={self._hcfirst_target:.0f})"
-        )
+    Hashes the raw (pre-ECC) stored bits of every row of every bank through
+    the public read API, so it is computable for any backend
+    (:class:`DramChip`, :class:`~repro.dram.reference.ReferenceDramChip`)
+    and identical exactly when their observable states are.  Reads bypass
+    the stats counters (``read_row_raw`` does not count), so digesting is
+    side-effect-free.
+    """
+    digest = hashlib.sha256()
+    for bank in range(chip.geometry.banks):
+        for row in range(chip.geometry.rows_per_bank):
+            digest.update(chip.read_row_raw(bank, row).tobytes())
+    return digest.hexdigest()

@@ -223,8 +223,11 @@ class ResultStore:
                         pickle.dump(stored, handle)
                     tmp.replace(path)
                 finally:
-                    if tmp.exists():  # pragma: no cover - only on a failed dump
-                        tmp.unlink()
+                    # Cleanup only matters on a failed dump/replace, and must
+                    # never mask the original exception: the temp file may be
+                    # gone already (replace succeeded) or undeletable.
+                    with contextlib.suppress(OSError):
+                        tmp.unlink(missing_ok=True)
         self.stats.puts += 1
 
     def contains(self, key: CacheKey) -> bool:

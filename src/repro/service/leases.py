@@ -224,7 +224,11 @@ class LeaseManager:
                     deferred.append(key)  # backing off; keep for later
                     continue
                 granted.append(unit)
-            pending.extend(deferred)
+            # Backed-off keys go back to the *front* in their original order:
+            # a grant attempt that finds everything backing off must not churn
+            # the queue (repeated empty grants would otherwise rotate units
+            # behind later arrivals and perturb grant order).
+            pending.extendleft(reversed(deferred))
             self._order.rotate(-1)
             if len(granted) >= capacity:
                 break
@@ -311,6 +315,16 @@ class LeaseManager:
         unit.errors.append(error)
         self._detach_from_lease(unit)
         return self._requeue_or_quarantine(unit, now)
+
+    def fail_lease(self, lease_id: str, reason: str, now: float) -> List[UnitEvent]:
+        """Reclaim a whole lease the worker itself reported as failed.
+
+        A worker whose heartbeat thread dies mid-batch cannot keep the lease
+        alive, so it surrenders the lease explicitly instead of waiting for
+        the TTL sweep to notice.  Stale ids (already expired or reclaimed)
+        are a no-op, mirroring :meth:`heartbeat`.
+        """
+        return self._reclaim_lease(lease_id, now, reason)
 
     # ------------------------------------------------------------------
     # Reclaim paths

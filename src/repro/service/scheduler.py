@@ -239,6 +239,8 @@ class SchedulerServer:
             await self._handle_unit_result(conn, message)
         elif kind == "unit_failed" and conn.role == "worker":
             await self._handle_unit_failed(conn, message)
+        elif kind == "lease_failed" and conn.role == "worker":
+            await self._handle_lease_failed(conn, message)
         elif kind == "goodbye":
             raise protocol.ProtocolError("peer said goodbye")  # clean close path
         else:
@@ -301,9 +303,15 @@ class SchedulerServer:
         now = time.monotonic()
         self.telemetry.worker_seen(conn.name, now)
         capacity = int(message.get("capacity") or self.default_batch)
+        # Backoff gate: when every pending unit is sitting out a backoff,
+        # answer with the exact wait instead of attempting a grant -- the
+        # attempt could not succeed and would only churn the pending queues.
+        wait = self.manager.next_available_in(now)
+        if wait is not None and wait > 0.0:
+            await conn.send({"type": "no_work", "retry_in": max(0.05, min(wait, 5.0))})
+            return
         lease = self.manager.grant(conn.name, max(1, capacity), now)
         if lease is None:
-            wait = self.manager.next_available_in(now)
             retry_in = 0.5 if wait is None else max(0.05, min(wait, 5.0))
             await conn.send({"type": "no_work", "retry_in": retry_in})
             return
@@ -365,6 +373,19 @@ class SchedulerServer:
         )
         if event is not None:
             await self._apply_unit_events([event])
+
+    async def _handle_lease_failed(self, conn: Connection, message: Dict[str, Any]) -> None:
+        """A worker surrendered a whole lease (its heartbeat thread died)."""
+        now = time.monotonic()
+        self.telemetry.worker_seen(conn.name, now)
+        events = self.manager.fail_lease(
+            str(message.get("lease_id")),
+            str(message.get("error") or "lease failed"),
+            now,
+        )
+        if events:
+            self.telemetry.bump("leases_failed")
+            await self._apply_unit_events(events)
 
     # ------------------------------------------------------------------
     # Shared transitions

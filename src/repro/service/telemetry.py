@@ -116,6 +116,7 @@ class SchedulerTelemetry:
             "leases_granted": 0,
             "leases_expired": 0,
             "leases_released": 0,
+            "leases_failed": 0,
             "heartbeats": 0,
         }
     )

@@ -13,10 +13,16 @@ verbatim -- the exact function behind ``SerialExecutor`` and
 to local ones: same hermetic chip copies, same seeds, same payload code.
 A unit that raises is reported as ``unit_failed`` (with its traceback) and
 the scheduler decides between retry and quarantine.
+
+Failures are never silent: unit exceptions and heartbeat-thread deaths are
+logged through the module logger, and a lease whose heartbeat thread died
+is surrendered explicitly (``lease_failed``) so the scheduler requeues its
+incomplete units immediately instead of waiting out the lease TTL.
 """
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 import time
@@ -25,6 +31,8 @@ from typing import Optional
 
 from repro.experiments.executors import execute_task
 from repro.service import protocol
+
+logger = logging.getLogger(__name__)
 
 
 class ServiceWorker:
@@ -70,6 +78,8 @@ class ServiceWorker:
         self.stop_event = stop_event or threading.Event()
         self.units_done = 0
         self.units_failed = 0
+        #: Leases surrendered because their heartbeat thread died.
+        self.heartbeat_failures = 0
 
     # ------------------------------------------------------------------
     def run(self) -> int:
@@ -117,9 +127,11 @@ class ServiceWorker:
         lease_id = grant["lease_id"]
         expires_in = float(grant.get("expires_in") or 15.0)
         stop_heartbeat = threading.Event()
+        heartbeat_failed = threading.Event()
         beat = threading.Thread(
             target=self._heartbeat_loop,
-            args=(stream, lease_id, max(0.05, expires_in / 3), stop_heartbeat),
+            args=(stream, lease_id, max(0.05, expires_in / 3), stop_heartbeat,
+                  heartbeat_failed),
             name=f"{self.name}-heartbeat",
             daemon=True,
         )
@@ -132,6 +144,26 @@ class ServiceWorker:
         finally:
             stop_heartbeat.set()
             beat.join(timeout=2.0)
+            if heartbeat_failed.is_set():
+                # The lease may have silently lapsed mid-batch.  Surrender it
+                # explicitly so the scheduler requeues incomplete units now
+                # rather than after the TTL sweep; best effort -- the same
+                # broken stream may refuse the message too.
+                self.heartbeat_failures += 1
+                logger.warning(
+                    "worker %s surrendering lease %s: heartbeat thread died",
+                    self.name, lease_id,
+                )
+                try:
+                    stream.send(
+                        {
+                            "type": "lease_failed",
+                            "lease_id": lease_id,
+                            "error": "heartbeat thread died",
+                        }
+                    )
+                except OSError:
+                    pass
 
     def _run_unit(self, stream: protocol.MessageStream, lease_id: str, unit: dict) -> None:
         key = unit["key"]
@@ -142,6 +174,7 @@ class ServiceWorker:
             elapsed = time.perf_counter() - started
         except Exception:
             self.units_failed += 1
+            logger.exception("worker %s: unit %s raised", self.name, key)
             stream.send(
                 {
                     "type": "unit_failed",
@@ -168,9 +201,25 @@ class ServiceWorker:
         lease_id: str,
         interval: float,
         stop: threading.Event,
+        failed: threading.Event,
     ) -> None:
-        while not stop.wait(interval):
-            try:
-                stream.send({"type": "heartbeat", "lease_id": lease_id})
-            except OSError:
-                return
+        """Renew ``lease_id`` until told to stop; flag ``failed`` on death.
+
+        Any exit other than a clean stop sets ``failed`` so the lease holder
+        knows renewals ceased -- a silently dead heartbeat thread would let
+        the lease expire while the batch is still running.
+        """
+        try:
+            while not stop.wait(interval):
+                try:
+                    stream.send({"type": "heartbeat", "lease_id": lease_id})
+                except OSError as exc:
+                    failed.set()
+                    logger.warning(
+                        "heartbeat for lease %s stopped: stream closed (%s)",
+                        lease_id, exc,
+                    )
+                    return
+        except Exception:
+            failed.set()
+            logger.exception("heartbeat thread for lease %s crashed", lease_id)

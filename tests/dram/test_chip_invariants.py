@@ -10,15 +10,19 @@ seed (the paper's disturbance semantics, Section 3):
   profiles whose ECC cannot be disabled).
 
 The suite sweeps every (type-node, manufacturer) configuration of Table 1
-with several seeds -- well over 20 randomized chip profiles.
+with several seeds -- well over 20 randomized chip profiles -- and runs
+every invariant against both chip backends: the columnar
+:class:`~repro.dram.chip.DramChip` and the retained object-at-a-time
+:class:`~repro.dram.reference.ReferenceDramChip` oracle.
 """
 
 import numpy as np
 import pytest
 
+from repro.dram.chip import DramChip
 from repro.dram.geometry import ChipGeometry
-from repro.dram.population import make_chip
-from repro.dram.vulnerability import available_configurations
+from repro.dram.reference import ReferenceDramChip
+from repro.dram.vulnerability import available_configurations, profile_for
 
 #: Small geometry keeps each chip cheap while leaving room for double-sided
 #: hammering around the planted weakest cell.
@@ -31,17 +35,22 @@ PROFILE_CASES = [
     for seed in (11, 29)
 ]
 
+#: Both chip backends must satisfy every physical invariant identically.
+BACKENDS = [
+    pytest.param(DramChip, id="columnar"),
+    pytest.param(ReferenceDramChip, id="reference"),
+]
+
 #: Target HC_first for the planted weakest cell: small enough that hammer
 #: counts stay tiny, large enough to leave margin below the threshold.
 HCFIRST_TARGET = 1_500
 
 
-def build_chip(type_node, manufacturer, seed):
-    return make_chip(
-        type_node,
-        manufacturer,
-        seed=seed,
+def build_chip(type_node, manufacturer, seed, chip_class=DramChip):
+    return chip_class(
+        profile_for(type_node, manufacturer),
         geometry=GEOMETRY,
+        seed=seed,
         hcfirst_target=HCFIRST_TARGET,
     )
 
@@ -72,10 +81,13 @@ def prepare_worst_case(chip):
     return bank, victim, aggressors, victim_fill
 
 
+@pytest.mark.parametrize("chip_class", BACKENDS)
 @pytest.mark.parametrize("type_node,manufacturer,seed", PROFILE_CASES)
 class TestDisturbanceInvariants:
-    def test_refresh_resets_exposure_but_never_unflips(self, type_node, manufacturer, seed):
-        chip = build_chip(type_node, manufacturer, seed)
+    def test_refresh_resets_exposure_but_never_unflips(
+        self, type_node, manufacturer, seed, chip_class
+    ):
+        chip = build_chip(type_node, manufacturer, seed, chip_class)
         bank, victim, (left, right), victim_fill = prepare_worst_case(chip)
         partial = int(HCFIRST_TARGET * 0.55)
 
@@ -108,8 +120,8 @@ class TestDisturbanceInvariants:
         chip.hammer_pair(bank, left, right, partial)
         assert np.array_equal(chip.read_row_raw(bank, victim), flipped_raw)
 
-    def test_flips_persist_until_rewrite(self, type_node, manufacturer, seed):
-        chip = build_chip(type_node, manufacturer, seed)
+    def test_flips_persist_until_rewrite(self, type_node, manufacturer, seed, chip_class):
+        chip = build_chip(type_node, manufacturer, seed, chip_class)
         bank, victim, (left, right), victim_fill = prepare_worst_case(chip)
         assert chip.hammer_pair(bank, left, right, int(HCFIRST_TARGET * 1.2)) > 0
         flipped_raw = chip.read_row_raw(bank, victim).copy()
@@ -128,10 +140,11 @@ class TestDisturbanceInvariants:
         assert np.all(chip.read_row(bank, victim) == victim_fill)
 
 
+@pytest.mark.parametrize("chip_class", BACKENDS)
 @pytest.mark.parametrize("type_node,manufacturer,seed", PROFILE_CASES)
-def test_ondie_ecc_read_path_round_trips(type_node, manufacturer, seed):
+def test_ondie_ecc_read_path_round_trips(type_node, manufacturer, seed, chip_class):
     """Reads return exactly what was written, through on-die ECC when present."""
-    chip = build_chip(type_node, manufacturer, seed)
+    chip = build_chip(type_node, manufacturer, seed, chip_class)
     rng = np.random.default_rng(seed)
     for row in (1, 9, 20):
         data = rng.integers(0, 256, size=chip.geometry.row_bytes, dtype=np.uint8)

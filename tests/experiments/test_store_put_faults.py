@@ -1,0 +1,99 @@
+"""ResultStore.put fault paths: temp-file hygiene and the no-fcntl fallback.
+
+``put`` publishes each pickle atomically through a per-writer unique temp
+file.  Two fault paths are pinned here: a failed dump must not leave
+``.tmp`` litter behind (and cleanup must never mask the original error),
+and on platforms without ``fcntl`` the advisory lock degrades to a no-op
+while the write stays atomic-rename-based.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.experiments.store as store_module
+from repro.experiments.store import CacheKey, ResultStore
+from repro.experiments.study import StudyResult
+
+
+def make_result(payload):
+    return StudyResult(
+        study="faults-demo",
+        config_digest="cfg",
+        chip_id=None,
+        type_node=None,
+        manufacturer=None,
+        seed=0,
+        payload=payload,
+    )
+
+
+def tmp_litter(root):
+    return [path for path in root.rglob("*.tmp")]
+
+
+class TestTempFileHygiene:
+    def test_successful_put_leaves_no_tmp(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        store.put(CacheKey("faults-demo", "cfg", "ok"), make_result(1))
+        assert tmp_litter(root) == []
+        assert ResultStore(root).get(CacheKey("faults-demo", "cfg", "ok")) is not None
+
+    def test_failed_dump_cleans_up_and_raises_original_error(self, tmp_path, monkeypatch):
+        root = tmp_path / "store"
+        store = ResultStore(root)
+
+        def broken_dump(obj, handle):
+            raise pickle.PicklingError("cannot pickle this")
+
+        monkeypatch.setattr(store_module.pickle, "dump", broken_dump)
+        with pytest.raises(pickle.PicklingError):
+            store.put(CacheKey("faults-demo", "cfg", "bad"), make_result(2))
+        assert tmp_litter(root) == []
+
+    def test_unremovable_tmp_does_not_mask_dump_error(self, tmp_path, monkeypatch):
+        """Even if cleanup itself fails, the *dump* error is what surfaces."""
+        root = tmp_path / "store"
+        store = ResultStore(root)
+
+        def broken_dump(obj, handle):
+            raise pickle.PicklingError("cannot pickle this")
+
+        def broken_unlink(self, missing_ok=False):
+            raise OSError("unlink refused")
+
+        monkeypatch.setattr(store_module.pickle, "dump", broken_dump)
+        monkeypatch.setattr(type(root), "unlink", broken_unlink)
+        with pytest.raises(pickle.PicklingError):
+            store.put(CacheKey("faults-demo", "cfg", "bad"), make_result(3))
+
+
+class TestNoFcntlFallback:
+    def test_put_without_fcntl_is_still_atomic_and_readable(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(store_module, "fcntl", None)
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        key = CacheKey("faults-demo", "cfg", "nolock")
+        store.put(key, make_result({"x": 7}))
+        assert tmp_litter(root) == []
+        # No advisory lock file is created when fcntl is unavailable.
+        assert not (root / ResultStore.LOCK_FILENAME).exists()
+        cached = ResultStore(root).get(key)
+        assert cached is not None and cached.payload == {"x": 7}
+        assert cached.from_cache
+
+    def test_failed_dump_without_fcntl_cleans_up(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(store_module, "fcntl", None)
+        root = tmp_path / "store"
+        store = ResultStore(root)
+
+        def broken_dump(obj, handle):
+            raise pickle.PicklingError("cannot pickle this")
+
+        monkeypatch.setattr(store_module.pickle, "dump", broken_dump)
+        with pytest.raises(pickle.PicklingError):
+            store.put(CacheKey("faults-demo", "cfg", "bad"), make_result(4))
+        assert tmp_litter(root) == []

@@ -167,6 +167,53 @@ class TestQuarantine:
         assert manager.fail("u0", "boom", now=0.2, worker="w1") is None
 
 
+class TestBackoffGate:
+    def test_all_units_backing_off_grants_nothing_and_reports_wait(self):
+        """Regression: a fleet hammering ``grant`` while every pending unit
+        backs off must get ``None`` plus an accurate ``next_available_in``,
+        and the repeated empty grants must not churn the pending order."""
+        manager = make_manager(lease_ttl=5.0, backoff_base=2.0)
+        manager.add_submission("sub", "label", make_units(3))
+        lease = manager.grant("w1", capacity=3, now=0.0)
+        assert lease is not None
+        manager.reap_expired(now=6.0)  # all three requeue with 2s backoff
+
+        pending_before = list(manager.submissions["sub"].pending)
+        for attempt in range(5):  # busy-poll storm
+            assert manager.grant("w2", capacity=3, now=6.5) is None
+        assert list(manager.submissions["sub"].pending) == pending_before
+        wait = manager.next_available_in(now=6.5)
+        assert wait == pytest.approx(1.5)
+
+        # Once the backoff lapses the very same units are granted, in order.
+        lease = manager.grant("w2", capacity=3, now=6.0 + 2.0)
+        assert lease is not None and len(lease.keys) == 3
+
+    def test_next_available_in_states(self):
+        manager = make_manager(backoff_base=4.0)
+        assert manager.next_available_in(now=0.0) is None  # nothing pending
+        manager.add_submission("sub", "label", make_units(1))
+        assert manager.next_available_in(now=0.0) == 0.0  # grantable now
+        manager.grant("w1", capacity=1, now=0.0)
+        assert manager.next_available_in(now=0.0) is None  # all leased
+
+    def test_fail_lease_requeues_every_leased_unit(self):
+        manager = make_manager(backoff_base=1.0)
+        manager.add_submission("sub", "label", make_units(2))
+        lease = manager.grant("w1", capacity=2, now=0.0)
+        events = manager.fail_lease(lease.lease_id, "heartbeat thread died", now=1.0)
+        assert {event.transition for event in events} == {"requeued"}
+        assert lease.lease_id not in manager.leases
+        for key in ("u0", "u1"):
+            unit = manager.units[key]
+            assert unit.state is UnitState.PENDING
+            assert unit.errors[-1] == "heartbeat thread died"
+            assert unit.available_at > 1.0
+        # Stale ids (already reclaimed) are a harmless no-op.
+        assert manager.fail_lease(lease.lease_id, "again", now=2.0) == []
+        assert manager.fail_lease("lease-nope", "never existed", now=2.0) == []
+
+
 class TestFairnessAndCancel:
     def test_round_robin_across_submissions(self):
         manager = make_manager()

@@ -1,0 +1,107 @@
+"""Worker heartbeat fault handling (no sockets, stub streams).
+
+A lease's heartbeat thread renews the lease while a batch executes; if it
+dies the lease silently lapses mid-batch.  These tests pin the hardened
+behaviour: the thread flags its own death (whatever the cause), and the
+lease holder then surrenders the lease explicitly with ``lease_failed``
+instead of letting the scheduler discover the expiry by TTL sweep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.service import protocol
+from repro.service.worker import ServiceWorker
+
+
+class StubStream:
+    """Records sent messages; raises per-type exceptions on demand."""
+
+    def __init__(self, fail_types=(), exception=OSError("broken pipe")):
+        self.sent = []
+        self.fail_types = set(fail_types)
+        self.exception = exception
+        self.lock = threading.Lock()
+
+    def send(self, message):
+        if message.get("type") in self.fail_types:
+            raise self.exception
+        with self.lock:
+            self.sent.append(message)
+
+    def sent_types(self):
+        with self.lock:
+            return [message["type"] for message in self.sent]
+
+
+class TestHeartbeatLoop:
+    def test_clean_stop_does_not_flag_failure(self):
+        stream = StubStream()
+        stop, failed = threading.Event(), threading.Event()
+        thread = threading.Thread(
+            target=ServiceWorker._heartbeat_loop,
+            args=(stream, "lease-1", 0.01, stop, failed),
+            daemon=True,
+        )
+        thread.start()
+        time.sleep(0.08)
+        stop.set()
+        thread.join(timeout=2.0)
+        assert not failed.is_set()
+        assert stream.sent_types().count("heartbeat") >= 1
+
+    def test_closed_stream_flags_failure(self):
+        stream = StubStream(fail_types={"heartbeat"})
+        stop, failed = threading.Event(), threading.Event()
+        ServiceWorker._heartbeat_loop(stream, "lease-1", 0.01, stop, failed)
+        assert failed.is_set()
+
+    def test_unexpected_crash_flags_failure(self):
+        stream = StubStream(fail_types={"heartbeat"}, exception=ValueError("boom"))
+        stop, failed = threading.Event(), threading.Event()
+        # Must not propagate: the thread logs and flags instead of dying
+        # with an unraisable exception.
+        ServiceWorker._heartbeat_loop(stream, "lease-1", 0.01, stop, failed)
+        assert failed.is_set()
+
+
+class TestLeaseSurrender:
+    def make_worker(self):
+        return ServiceWorker("127.0.0.1", 1, name="w-test")
+
+    def run_lease(self, worker, stream, monkeypatch, unit_duration=0.25):
+        def slow_execute(task):
+            time.sleep(unit_duration)
+            return {"ok": task}
+
+        monkeypatch.setattr("repro.service.worker.execute_task", slow_execute)
+        grant = {
+            "lease_id": "lease-7",
+            "expires_in": 0.15,  # heartbeat interval: max(0.05, 0.15/3)
+            "units": [{"key": "u0", "task": protocol.pack_blob("payload")}],
+        }
+        worker._run_lease(stream, grant)
+
+    def test_heartbeat_death_surrenders_lease(self, monkeypatch):
+        worker = self.make_worker()
+        stream = StubStream(fail_types={"heartbeat"})
+        self.run_lease(worker, stream, monkeypatch)
+        assert worker.heartbeat_failures == 1
+        types = stream.sent_types()
+        assert "unit_result" in types  # the batch itself still completed
+        assert types[-1] == "lease_failed"
+        surrender = stream.sent[-1]
+        assert surrender["lease_id"] == "lease-7"
+        assert "heartbeat" in surrender["error"]
+
+    def test_healthy_heartbeat_does_not_surrender(self, monkeypatch):
+        worker = self.make_worker()
+        stream = StubStream()
+        self.run_lease(worker, stream, monkeypatch)
+        assert worker.heartbeat_failures == 0
+        types = stream.sent_types()
+        assert "lease_failed" not in types
+        assert types.count("heartbeat") >= 1
+        assert "unit_result" in types
