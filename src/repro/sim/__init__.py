@@ -1,4 +1,4 @@
-"""Cycle-level DDR4 memory-system simulator with an event-queue fast path.
+"""Cycle-level DDR4 memory-system simulator with two fast execution paths.
 
 This package replaces the paper's Ramulator + SPEC CPU2006 setup (Table 6)
 with a pure-Python equivalent:
@@ -18,9 +18,37 @@ with a pure-Python equivalent:
   workload mixes used in the evaluation.
 * :mod:`repro.sim.metrics` -- weighted speedup and bandwidth-overhead metrics.
 * :mod:`repro.sim.system` -- the top-level multi-core simulation harness.
+* :mod:`repro.sim.batch` / :mod:`repro.sim.kernel` -- sim-major batched
+  runs: many independent simulations stepped in lockstep through a numpy
+  structure-of-arrays kernel.
 
 Execution model
 ---------------
+There are three ways to execute a simulation, all bit-identical (the
+differential and golden suites enforce this per mechanism):
+
+* ``Simulation(step_mode="cycle")`` -- the per-cycle scanning oracle;
+* ``Simulation(step_mode="event")`` -- the event-queue fast path (the
+  default, ~4-5x the oracle);
+* ``SimulationBatch(..., backend="kernel")`` -- many simulations at once
+  through the batch kernel (~5.5x the oracle at batch size 64; see
+  ``docs/kernel_spike.md`` for why vectorization only pays *across*
+  simulations).
+
+Which path runs when
+--------------------
+A single :class:`~repro.sim.system.Simulation` picks between ``"cycle"``
+and ``"event"`` via ``step_mode``; it never uses the kernel (numpy on one
+controller's bank arrays is slower than the tuned scalar scan).  Grouped
+runs -- the Figure 10 study's baselines, alone-IPC runs and grid cells --
+go through :class:`~repro.sim.batch.SimulationBatch`, which uses the
+kernel when :func:`repro.sim.kernel.kernel_enabled` allows (numpy
+importable, ``REPRO_SIM_KERNEL`` not set to ``off``/``0``/``false``...)
+and otherwise falls back to running each simulation through the event
+path.  The fallback never raises and produces the same results, so
+``REPRO_SIM_KERNEL=off`` doubles as a CI leg that re-pins every
+kernel-parameterized test against the event path.
+
 A :class:`~repro.sim.system.Simulation` runs in one of two bit-identical
 step modes:
 
@@ -79,6 +107,21 @@ attach time and polled on every horizon computation, with the old contract
 (the returned cycle is processed, dispatch is the mechanism's own
 responsibility).  New code should prefer the port API: it is cheaper (no
 per-tick poll) and the controller owns the dispatch.
+
+How a mitigation stays kernel-compatible
+----------------------------------------
+The batch kernel never vectorizes mechanism code: controllers remain the
+authoritative state and every ``on_activate`` / ``on_refresh`` /
+``on_timer`` hook runs as ordinary scalar Python in oracle order, with
+the per-simulation quiet horizon clamped to ``min(next_refresh,
+earliest_completion, next_timer)`` so a fast-forward can never jump a
+mechanism's event.  A mechanism is therefore kernel-compatible exactly
+when it is event-compatible: interact with the simulation only through
+the hook and :class:`~repro.sim.controller.MitigationEventPort` APIs
+(plus ``mitigation_busy_cycles`` accounting), and never assume the
+controller is ticked on every cycle.  All shipped mechanisms -- including
+the RNG-driven (PARA) and timer-driven (scrubber) ones -- run unmodified
+under all three paths.
 """
 
 from repro.sim.config import SystemConfig

@@ -1,0 +1,1038 @@
+"""Sim-major batched stepper kernel for the Figure 10 simulator.
+
+The event-driven fast path (``step_mode="event"``) is bound by CPython
+dispatch per *real* event: roughly 57% of processed DRAM cycles issue a
+command, so there is no quiet span left to jump over and every processed
+cycle pays interpreter overhead for the FR-FCFS scan.  Vectorizing a
+*single* simulation does not help -- the spike in ``docs/kernel_spike.md``
+measures numpy on one 16-bank system at ~16x *slower* than the tuned
+Python scan, because a (16,)-element ufunc is all fixed overhead.  What
+does help is the same trick :class:`repro.dram.columnar.ChipPopulation`
+used on the DRAM side: go *sim-major*.  A :class:`BatchKernel` steps many
+independent simulations in lockstep, so every numpy operation amortizes
+its dispatch overhead over ``S`` simulations' controllers at once.
+
+Layout
+------
+One set of structure-of-arrays mirrors is shared by all ``S`` controllers
+(mirroring ``repro.dram.columnar.BankColumns``):
+
+* queue-major ``(2, S, B)`` int64 columns (axis 0: read queue, write
+  queue) for everything
+  :meth:`~repro.sim.controller.MemoryController._issue_demand` reads per
+  (queue, bank): pending / hit counters, FIFO-head and oldest-hit
+  sequence mirrors, and the column timers -- stacking the two queues
+  lets one ufunc classify both scans at once;
+* per-bank ``(S, B)`` int64 columns shared by both queues: open row
+  (``-1`` = closed) and the activate / precharge timers;
+* per-simulation ``(S,)`` int64 columns: rank tRRD timer, tFAW ring (the
+  last four ACT cycles ever, oldest first), data-bus occupancy, queue
+  lengths, quiet-until horizon, refresh schedule, earliest read
+  completion, and the mitigation timer;
+* per-core ``(S, C)`` int64 wake bounds -- the batch replacement for the
+  per-simulation :class:`~repro.sim.events.EventQueue`.
+
+The Python-object controllers stay fully authoritative: every mutation
+site in :mod:`repro.sim.controller` and :mod:`repro.sim.bank` pushes the
+new value into the arrays under an ``if self._k_open is not None`` guard
+(write-through instrumentation), so scalar fallback code -- victim-refresh
+scheduling, refresh, mitigation hooks -- can run unchanged on any one
+simulation and the arrays never go stale.  While attached, a controller's
+``_quiet_until`` attribute is parked at 0 and the ``quiet`` *array* is
+the authoritative sleep bound (the enqueue fold re-gates on it), which
+lets the batch loop set horizons for whole masks of simulations with one
+``copyto`` instead of per-simulation attribute writes.
+
+Batch cycle
+-----------
+Each processed cycle runs the event-mode orchestration across all active
+simulations:
+
+1. vector due-masks pick the simulations with a read completion, periodic
+   refresh, or mitigation timer due; their scalar handlers run unchanged
+   (owner cores' lazily accounted spans are settled *before* the
+   completions, exactly like the event loop's pre-completion barrier);
+2. one vectorized FR-FCFS scan classifies every (queue, simulation,
+   bank) lane and min-reduces *packed* ``seq * B + bank`` candidates to
+   each queue's oldest ready row hit, oldest issuable precharge/activate
+   candidate, and failed-scan issue horizon -- the same bounds
+   ``_issue_demand`` derives, computed once for the whole batch (the
+   packed min preserves FR-FCFS's seq-then-bank order without argmins);
+3. simulations with nothing to do -- no candidate, no victim refresh, no
+   due handler -- get their quiet horizons written back with one masked
+   copy; the remaining few run a scalar apply loop through the shared
+   issue tails
+   (:meth:`~repro.sim.controller.MemoryController._issue_column_fast` /
+   ``_issue_precharge`` / ``_issue_activate``); simulations with queued
+   victim refreshes fall back to the full scalar ``_schedule`` (victim
+   priority is rare and correctness-critical);
+4. due cores run: each is a lean :class:`_CoreCell` (flat trace lists,
+   plain-int stats) executing ``SimpleCore``'s exact tick math; bubble
+   and stall spans are applied lazily against the ``wake`` array, with
+   the event loop's channel-wake discipline (write-pop / read-pop /
+   own-completion) deciding when a deferred cell settles;
+5. the clock jumps to ``min(quiet.min(), wake.min())``, replaying the
+   reference loop's CPU-debt float arithmetic over the skipped span.
+
+Every counter is bit-identical to ``step_mode="cycle"``; the differential
+suite (``tests/sim/test_kernel_differential.py``) and the parameterized
+golden suite enforce this.
+
+Use :class:`repro.sim.batch.SimulationBatch` instead of instantiating
+:class:`BatchKernel` directly; the batch owns backend selection (the
+``REPRO_SIM_KERNEL`` gate) and the pure-Python event fallback.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from collections import deque
+from typing import List, Sequence
+
+from repro.sim.config import SystemConfig
+from repro.sim.controller import MemoryController
+from repro.sim.core import _WindowEntry, flatten_trace
+from repro.sim.events import NEVER
+from repro.sim.requests import MemoryRequest, RequestType
+
+try:  # numpy is required by the kernel only; the event path needs nothing
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via kernel_enabled()
+    _np = None
+
+__all__ = ["BatchKernel", "kernel_enabled", "numpy_available"]
+
+#: Sentinel for "no activate ever happened" in the tFAW ring: far enough in
+#: the past that ``ring + tFAW`` can never bound a real cycle.
+_NEG = -(1 << 62)
+
+_DISABLE_VALUES = frozenset({"0", "off", "false", "no", "disable", "disabled"})
+
+
+def numpy_available() -> bool:
+    """Whether numpy imported (the kernel's only hard dependency)."""
+    return _np is not None
+
+
+def kernel_enabled() -> bool:
+    """Whether the batch kernel may run: numpy present and not force-disabled.
+
+    Set ``REPRO_SIM_KERNEL=off`` (or ``0`` / ``false`` / ``no``) to force
+    every :class:`~repro.sim.batch.SimulationBatch` onto the pure-Python
+    event fallback -- the CI tier-1 matrix keeps that path covered.
+    """
+    value = os.environ.get("REPRO_SIM_KERNEL", "").strip().lower()
+    if value in _DISABLE_VALUES:
+        return False
+    return _np is not None
+
+
+class _CoreCell:
+    """Lean per-(simulation, core) execution state.
+
+    Replays :class:`repro.sim.core.SimpleCore`'s exact tick arithmetic --
+    retire-then-issue order, bubble batching, posted writes, window-bounded
+    reads -- over flattened trace lists with plain-int statistics, so the
+    batch loop pays no dataclass or attribute-chain overhead.  The kernel
+    applies bubble and stall spans lazily (``synced_ticks`` tracks the
+    last tick this cell was exact at); the bit-identity argument is the
+    same as the event loop's: completed-flag changes are fenced by the
+    pre-completion settle of owner cells, so batched retirement pops the
+    same window prefix as per-cycle retirement.
+    """
+
+    __slots__ = (
+        "core_id",
+        "controller",
+        "t_bubbles",
+        "t_is_write",
+        "t_bank",
+        "t_row",
+        "t_col",
+        "t_len",
+        "trace_index",
+        "bubbles",
+        "window",
+        "blocked_channel",
+        "deferred",
+        "synced_ticks",
+        "issue_width",
+        "window_limit",
+        "read_depth",
+        "write_depth",
+        "cpu_cycles",
+        "instructions",
+        "reads_issued",
+        "writes_issued",
+        "stall_cycles",
+    )
+
+    def __init__(self, core_id, trace, config: SystemConfig, controller, flat=None) -> None:
+        if not trace:
+            raise ValueError("trace must contain at least one record")
+        self.core_id = core_id
+        self.controller = controller
+        (
+            self.t_bubbles,
+            self.t_is_write,
+            self.t_bank,
+            self.t_row,
+            self.t_col,
+        ) = flat if flat is not None else flatten_trace(trace)
+        self.t_len = len(self.t_bubbles)
+        self.trace_index = 0
+        self.bubbles = self.t_bubbles[0]
+        self.window = deque()
+        self.blocked_channel = -1
+        self.deferred = False
+        self.synced_ticks = 0
+        self.issue_width = config.issue_width
+        self.window_limit = config.instruction_window
+        self.read_depth = config.read_queue_depth
+        self.write_depth = config.write_queue_depth
+        self.cpu_cycles = 0
+        self.instructions = 0
+        self.reads_issued = 0
+        self.writes_issued = 0
+        self.stall_cycles = 0
+
+    def tick(self, cycle: int) -> bool:
+        """One exact CPU tick (the port of ``SimpleCore.tick``).
+
+        Counter updates accumulate in locals and write back once: this is
+        the hottest pure-Python function in a dense batch.  Window entries
+        double as their own completion callbacks (no per-read closure).
+        """
+        iw = self.issue_width
+        self.cpu_cycles += 1
+        window = self.window
+        if window and window[0].completed:
+            retired = 0
+            while retired < iw and window and window[0].completed:
+                window.popleft()
+                retired += 1
+        issued = 0
+        controller = self.controller
+        t_is_write = self.t_is_write
+        index = self.trace_index
+        bubbles = self.bubbles
+        instructions = 0
+        while issued < iw:
+            if bubbles > 0:
+                take = iw - issued
+                if take > bubbles:
+                    take = bubbles
+                bubbles -= take
+                instructions += take
+                issued += take
+                continue
+            if t_is_write[index]:
+                request = MemoryRequest(
+                    RequestType.WRITE,
+                    self.t_bank[index],
+                    self.t_row[index],
+                    self.t_col[index],
+                    self.core_id,
+                )
+                if not controller.enqueue(request, cycle):
+                    break  # write queue full; retry next cycle
+                self.writes_issued += 1
+            else:
+                if len(window) >= self.window_limit:
+                    break  # the window is full of outstanding reads
+                entry = _WindowEntry()
+                request = MemoryRequest(
+                    RequestType.READ,
+                    self.t_bank[index],
+                    self.t_row[index],
+                    self.t_col[index],
+                    self.core_id,
+                    0,
+                    entry,
+                )
+                if not controller.enqueue(request, cycle):
+                    break  # read queue full; retry next cycle
+                window.append(entry)
+                self.reads_issued += 1
+            instructions += 1
+            issued += 1
+            index = (index + 1) % self.t_len
+            bubbles = self.t_bubbles[index]
+        self.trace_index = index
+        self.bubbles = bubbles
+        if instructions:
+            self.instructions += instructions
+            return True
+        self.stall_cycles += 1
+        return False
+
+    def record_blocked(self) -> bool:
+        """Port of ``SimpleCore._record_blocked`` (sets the wake channel)."""
+        index = self.trace_index
+        controller = self.controller
+        if self.t_is_write[index]:
+            if controller.write_len >= self.write_depth:
+                self.blocked_channel = 0
+                return True
+            return False
+        if controller.read_len >= self.read_depth:
+            self.blocked_channel = 1
+            return True
+        window = self.window
+        if len(window) >= self.window_limit and not window[0].completed:
+            self.blocked_channel = 2
+            return True
+        return False
+
+    def settle_stall(self, ticks: int) -> None:
+        """Apply ``ticks`` stalled CPU ticks in bulk (port of
+        ``SimpleCore.settle_stall``)."""
+        self.cpu_cycles += ticks
+        self.stall_cycles += ticks
+        retire_cap = ticks * self.issue_width
+        window = self.window
+        popped = 0
+        while popped < retire_cap and window and window[0].completed:
+            window.popleft()
+            popped += 1
+
+    def apply_bubble_span(self, ticks: int) -> None:
+        """Apply a lazily deferred pure-bubble span of ``ticks`` CPU ticks.
+
+        Only called for spans the cell's wake bound proved bubble-only
+        (``bubbles >= ticks * issue_width`` held when the bound was set),
+        so this is ``SimpleCore.fast_tick``'s bubble branch without the
+        classification (the run loop inlines the classifying variant).
+        """
+        retire_cap = ticks * self.issue_width
+        self.bubbles -= retire_cap
+        self.cpu_cycles += ticks
+        self.instructions += retire_cap
+        window = self.window
+        if window and window[0].completed:
+            popped = 0
+            while popped < retire_cap and window and window[0].completed:
+                window.popleft()
+                popped += 1
+
+
+class BatchKernel:
+    """Steps ``S`` independent simulations in lockstep over shared arrays.
+
+    Parameters
+    ----------
+    config:
+        The shared :class:`~repro.sim.config.SystemConfig`.  Every
+        simulation in the batch runs the same system geometry and CPU
+        ratio (per-simulation *timings* may still differ: a mitigation's
+        increased refresh rate only rescales that controller's tREFI).
+    controllers:
+        One :class:`~repro.sim.controller.MemoryController` per
+        simulation, freshly constructed (each may carry its own mitigation
+        mechanism instance).
+    trace_sets:
+        Per simulation, one trace per core.  Core counts may differ
+        between simulations (unused ``(s, c)`` wake slots stay parked at
+        :data:`~repro.sim.events.NEVER`).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        controllers: Sequence[MemoryController],
+        trace_sets: Sequence[Sequence[Sequence]],
+    ) -> None:
+        if _np is None:  # pragma: no cover - callers gate on kernel_enabled()
+            raise RuntimeError("numpy is required by BatchKernel")
+        if len(controllers) != len(trace_sets) or not controllers:
+            raise ValueError("one controller and one trace set per simulation")
+        np = _np
+        self.config = config
+        self.controllers = list(controllers)
+        S = self.num_sims = len(self.controllers)
+        B = self.num_banks = config.banks
+        C = max(len(traces) for traces in trace_sets)
+        int64 = np.int64
+
+        # Queue-major (2, S, B) columns: axis 0 is (read, write).
+        self.pend = np.zeros((2, S, B), dtype=int64)
+        self.hits = np.zeros((2, S, B), dtype=int64)
+        self.headq = np.full((2, S, B), NEVER, dtype=int64)
+        self.hitq = np.full((2, S, B), NEVER, dtype=int64)
+        self.coltim = np.zeros((2, S, B), dtype=int64)
+
+        # Per-bank (S, B) columns shared by both queues.
+        self.open_row = np.full((S, B), -1, dtype=int64)
+        self.nact = np.zeros((S, B), dtype=int64)
+        self.npre = np.zeros((S, B), dtype=int64)
+
+        # Per-simulation (S,) columns.
+        self.rank_next = np.zeros(S, dtype=int64)
+        self.faw_old = np.full(S, _NEG, dtype=int64)
+        self.ring = np.full((S, 4), _NEG, dtype=int64)
+        self.bus_free = np.zeros(S, dtype=int64)
+        self.quiet = np.zeros(S, dtype=int64)
+        self.rlen = np.zeros(S, dtype=int64)
+        self.wlen = np.zeros(S, dtype=int64)
+        self.nref = np.zeros(S, dtype=int64)
+        self.runtil = np.zeros(S, dtype=int64)
+        self.comp = np.full(S, NEVER, dtype=int64)
+        self.timer = np.full(S, NEVER, dtype=int64)
+        self.tcl = np.zeros(S, dtype=int64)
+        self.tfaw = np.zeros(S, dtype=int64)
+        self.vict = np.zeros(S, dtype=bool)
+
+        # Per-core (S, C) wake bounds; padding cells never wake.
+        self.wake = np.full((S, C), NEVER, dtype=int64)
+
+        self.cells: List[List[_CoreCell]] = []
+        #: Per-simulation list of deferred (lazily stalled) cells.
+        self.defer: List[List[_CoreCell]] = [[] for _ in range(S)]
+        self.polls = [controller._poll_mitigation for controller in self.controllers]
+        self.poll_b = np.array(self.polls, dtype=bool)
+        self._drain_level = config.write_queue_depth // 2
+
+        # Vector scratch buffers (reused every cycle; ``out=`` everywhere).
+        self._b_ready = np.empty((2, S, B), dtype=int64)
+        self._b_pack = np.empty((2, S, B), dtype=int64)
+        self._b_cand = np.empty((2, S, B), dtype=int64)
+        self._b_hor = np.empty((2, S, B), dtype=int64)
+        self._m_a = np.empty((2, S, B), dtype=bool)
+        self._m_b = np.empty((2, S, B), dtype=bool)
+        self._m_c = np.empty((2, S, B), dtype=bool)
+        self._b_oldr = np.empty((S, B), dtype=int64)
+        self._open_mask = np.empty((S, B), dtype=bool)
+        self._m_old = np.empty((S, B), dtype=bool)
+        self._m_nold = np.empty((S, B), dtype=bool)
+        self._hcand = np.empty((2, S), dtype=int64)
+        self._ocand = np.empty((2, S), dtype=int64)
+        self._qhor = np.empty((2, S), dtype=int64)
+        self._cand2 = np.empty((2, S), dtype=int64)
+        self._cb2 = np.empty((2, S), dtype=bool)
+        self._rank_eff = np.empty(S, dtype=int64)
+        self._bus_ready = np.empty(S, dtype=int64)
+        self._h_issue = np.empty(S, dtype=int64)
+        self._h_all = np.empty(S, dtype=int64)
+        self._active_b = np.empty(S, dtype=bool)
+        self._busy_b = np.empty(S, dtype=bool)
+        self._drain_b = np.empty(S, dtype=bool)
+        self._touched_b = np.zeros(S, dtype=bool)
+        self._tmp_b = np.empty(S, dtype=bool)
+        self._ca = np.empty(S, dtype=bool)
+        self._cb = np.empty(S, dtype=bool)
+        self._cc = np.empty(S, dtype=bool)
+        self._cd = np.empty(S, dtype=bool)
+        self._wake_due = np.empty((S, C), dtype=bool)
+        # Broadcast-ready persistent views of fixed buffers.
+        self._bus3 = self._bus_ready[None, :, None]
+        self._oldr3 = self._b_oldr[None]
+        self._m_old3 = self._m_old[None]
+        self._m_nold3 = self._m_nold[None]
+        self._bank_idx = np.arange(B, dtype=int64)
+
+        # Batches typically reuse trace objects across simulations (the
+        # Figure 10 sweep runs every mechanism over the same mixes), so
+        # flatten each distinct trace once.  Keyed by ``id``: the trace
+        # lists stay alive in ``trace_sets`` for the whole loop.
+        flat_cache = {}
+        for s, (controller, traces) in enumerate(zip(self.controllers, trace_sets)):
+            self._attach(s, controller)
+            sim_cells = []
+            for core_id, trace in enumerate(traces):
+                flat = flat_cache.get(id(trace))
+                if flat is None and trace:
+                    flat = flat_cache[id(trace)] = flatten_trace(trace)
+                sim_cells.append(_CoreCell(core_id, trace, config, controller, flat))
+            self.cells.append(sim_cells)
+            self.wake[s, : len(sim_cells)] = 0
+        self._mtpc = max(1, int(math.ceil(config.cpu_cycles_per_dram_cycle)))
+
+    # ------------------------------------------------------------------
+    # Mirror attach / detach
+    # ------------------------------------------------------------------
+    def _attach(self, s: int, controller: MemoryController) -> None:
+        """Wire one controller's write-through mirrors into the arrays.
+
+        Row views alias the batch arrays, so the controller's guarded
+        scalar writes land directly in the vectorized scan's input.
+        ``_k_open`` is assigned last: it is the attached flag the guards
+        test.
+        """
+        controller._k_s = s
+        controller._k_nact = self.nact[s]
+        controller._k_npre = self.npre[s]
+        controller._k_nrd = self.coltim[0, s]
+        controller._k_nwr = self.coltim[1, s]
+        controller._k_rpend = self.pend[0, s]
+        controller._k_rhits = self.hits[0, s]
+        controller._k_rhead = self.headq[0, s]
+        controller._k_rhit = self.hitq[0, s]
+        controller._k_wpend = self.pend[1, s]
+        controller._k_whits = self.hits[1, s]
+        controller._k_whead = self.headq[1, s]
+        controller._k_whit = self.hitq[1, s]
+        controller._k_rlen = self.rlen
+        controller._k_wlen = self.wlen
+        controller._k_quiet = self.quiet
+        controller._k_nref = self.nref
+        controller._k_runtil = self.runtil
+        controller._k_comp = self.comp
+        controller._k_timer = self.timer
+        controller._k_vict = self.vict
+
+        # Seed the arrays from the controller's (possibly pre-warmed) state:
+        # a mechanism may have scheduled a timer at registration time, and a
+        # refresh-rate-scaling mechanism changes this controller's tREFI.
+        self.open_row[s] = [
+            -1 if row is None else row for row in controller._bank_open_row
+        ]
+        self.nact[s] = controller._bank_next_activate
+        self.npre[s] = controller._bank_next_precharge
+        self.coltim[0, s] = controller._bank_next_read
+        self.coltim[1, s] = controller._bank_next_write
+        self.pend[0, s] = controller._read_pending
+        self.hits[0, s] = controller._read_hits
+        self.headq[0, s] = controller._read_head_seq
+        self.hitq[0, s] = controller._read_hit_seq
+        self.pend[1, s] = controller._write_pending
+        self.hits[1, s] = controller._write_hits
+        self.headq[1, s] = controller._write_head_seq
+        self.hitq[1, s] = controller._write_hit_seq
+        self.rlen[s] = controller.read_len
+        self.wlen[s] = controller.write_len
+        self.quiet[s] = controller._quiet_until
+        self.nref[s] = controller._next_refresh
+        self.runtil[s] = controller._refresh_until
+        self.comp[s] = controller.earliest_completion_cycle
+        self.timer[s] = controller._mitigation_timer
+        self.tcl[s] = controller._tcl
+        self.tfaw[s] = controller._tfaw
+        self.vict[s] = bool(controller.victim_queue)
+
+        rank = controller.rank
+        rank.k_s = s
+        rank.k_next = self.rank_next
+        rank.k_bus = self.bus_free
+        rank.k_faw = self.faw_old
+        rank.k_ring = self.ring[s]
+        self.rank_next[s] = rank.next_activate
+        self.bus_free[s] = rank.data_bus_free
+        recent = list(rank.recent_activates)[-4:]
+        for offset, value in enumerate(recent):
+            self.ring[s, 4 - len(recent) + offset] = value
+        self.faw_old[s] = self.ring[s, 0]
+
+        # While attached the quiet *array* is authoritative; park the attr
+        # at 0 so the scalar paths' attr-gated logic stays dormant.
+        controller._quiet_until = 0
+        controller._k_open = self.open_row[s]
+
+    def _detach_all(self) -> None:
+        """Drop the mirror hooks so the controllers behave standalone again."""
+        for controller in self.controllers:
+            controller._k_open = None
+            # The attr was parked at 0 while attached; 0 remains sound
+            # standalone (a too-low quiet bound only costs a rescan).
+            controller._quiet_until = 0
+            rank = controller.rank
+            rank.k_next = None
+            rank.k_bus = None
+            rank.k_faw = None
+            rank.k_ring = None
+
+    # ------------------------------------------------------------------
+    # Lazy-core settling
+    # ------------------------------------------------------------------
+    def _settle_cell(self, s: int, cell: _CoreCell, cycle: int, tick_total: int) -> None:
+        """Make one cell exact as of ``tick_total`` (pre-completion barrier).
+
+        A deferred cell's lag is stall time (its wake channel or own
+        completion is firing); an awake cell's lag is a pure-bubble span.
+        Both must be applied with the *pre-completion* window flags, which
+        is why this runs before ``_complete_due``.
+        """
+        lag = tick_total - cell.synced_ticks
+        if cell.deferred:
+            if lag:
+                cell.settle_stall(lag)
+            cell.deferred = False
+            self.defer[s].remove(cell)
+            cell.synced_ticks = tick_total
+            self.wake[s, cell.core_id] = cycle
+        elif lag:
+            cell.apply_bubble_span(lag)
+            cell.synced_ticks = tick_total
+
+    def _settle_channel(self, s: int, channel: int, cycle: int, tick_total: int) -> None:
+        """Settle the simulation's deferred cells blocked on one wake channel."""
+        wake = self.wake
+        dl = self.defer[s]
+        kept = []
+        for cell in dl:
+            if cell.blocked_channel == channel:
+                lag = tick_total - cell.synced_ticks
+                if lag:
+                    cell.settle_stall(lag)
+                cell.deferred = False
+                cell.synced_ticks = tick_total
+                wake[s, cell.core_id] = cycle
+            else:
+                kept.append(cell)
+        if len(kept) != len(dl):
+            dl[:] = kept
+
+    # ------------------------------------------------------------------
+    # Vectorized FR-FCFS scan
+    # ------------------------------------------------------------------
+    def _scan_all(self, cycle: int) -> None:
+        """Classify every (queue, simulation, bank) lane in one pass.
+
+        The vector formulation of
+        :meth:`~repro.sim.controller.MemoryController._issue_demand`:
+        identical per-bank readiness conditions and horizon bounds, with
+        the tFAW admission bound computed from the activate ring
+        (``max(rank_next, ring[0] + tFAW)`` is exactly
+        ``RankState.can_activate``'s verdict, and equals the scalar
+        horizon bound case by case).  Candidates are *packed* as
+        ``seq * B + bank`` so a single min-reduction yields the oldest
+        candidate with the scalar scan's lowest-bank tie-break; packing a
+        ``NEVER`` sentinel lane wraps the int64, but every such lane is
+        masked out (a real head/hit sequence exists wherever the masks
+        select).  Fills ``_hcand`` / ``_ocand`` / ``_qhor`` (all
+        ``(2, S)``; ``NEVER`` = no candidate).  The shared per-cycle prep
+        (``_bus_ready``, ``_b_oldr``, ``_m_old`` ...) is computed by the
+        run loop before the call.
+        """
+        np = _np
+        B = self.num_banks
+        b_ready, b_pack, b_cand, b_hor = (
+            self._b_ready,
+            self._b_pack,
+            self._b_cand,
+            self._b_hor,
+        )
+        m_a, m_b, m_c = self._m_a, self._m_b, self._m_c
+
+        # Row hits: column timer and shared data bus both ready.
+        np.maximum(self.coltim, self._bus3, out=b_ready)
+        np.greater(self.hits, 0, out=m_a)
+        np.less_equal(b_ready, cycle, out=m_b)
+        np.logical_and(m_b, m_a, out=m_b)  # ready hits
+        np.multiply(self.hitq, B, out=b_pack)
+        np.add(b_pack, self._bank_idx, out=b_pack)
+        b_cand[...] = NEVER
+        np.copyto(b_cand, b_pack, where=m_b)
+        b_cand.min(axis=2, out=self._hcand)
+        np.logical_not(m_b, out=m_c)
+        np.logical_and(m_c, m_a, out=m_c)  # hit banks not ready yet
+        b_hor[...] = NEVER
+        np.copyto(b_hor, b_ready, where=m_c)
+
+        # Old candidates (pending, no hits): precharge on open banks,
+        # activate on closed ones -- ``_b_oldr`` already folds that split.
+        np.greater(self.pend, 0, out=m_c)
+        np.logical_not(m_a, out=m_a)
+        np.logical_and(m_a, m_c, out=m_a)  # pending, no hits
+        np.logical_and(m_a, self._m_old3, out=m_b)  # ready old candidates
+        np.multiply(self.headq, B, out=b_pack)
+        np.add(b_pack, self._bank_idx, out=b_pack)
+        b_ready[...] = NEVER
+        np.copyto(b_ready, b_pack, where=m_b)
+        b_ready.min(axis=2, out=self._ocand)
+        np.logical_and(m_a, self._m_nold3, out=m_c)  # old, not ready yet
+        np.copyto(b_hor, self._oldr3, where=m_c)
+        b_hor.min(axis=2, out=self._qhor)
+
+    # ------------------------------------------------------------------
+    # The batch run loop
+    # ------------------------------------------------------------------
+    def run(self, dram_cycles: int) -> None:
+        """Advance every simulation to ``dram_cycles`` (mutating controllers
+        and cells in place); detaches the mirrors on exit."""
+        try:
+            self._run(dram_cycles)
+        finally:
+            self._detach_all()
+
+    def _run(self, dram_cycles: int) -> None:
+        np = _np
+        config = self.config
+        controllers = self.controllers
+        cells = self.cells
+        defer = self.defer
+        polls = self.polls
+        wake = self.wake
+        quiet = self.quiet
+        vict = self.vict
+        comp, nref, timer, runtil = self.comp, self.nref, self.timer, self.runtil
+        rlen, wlen = self.rlen, self.wlen
+        active_b, busy_b, drain_b, tmp_b = (
+            self._active_b,
+            self._busy_b,
+            self._drain_b,
+            self._tmp_b,
+        )
+        touched_b = self._touched_b
+        ca, cb, cc, cd = self._ca, self._cb, self._cc, self._cd
+        h_issue, h_all = self._h_issue, self._h_all
+        rank_eff, bus_ready = self._rank_eff, self._bus_ready
+        hcand, ocand, qhor = self._hcand, self._ocand, self._qhor
+        cand2, cb2 = self._cand2, self._cb2
+        wake_due = self._wake_due
+        open_mask, m_old, m_nold, b_oldr = (
+            self._open_mask,
+            self._m_old,
+            self._m_nold,
+            self._b_oldr,
+        )
+        touched_set = set()
+        B = self.num_banks
+        mtpc = self._mtpc
+        drain_level = self._drain_level
+        copyto = np.copyto
+        nonzero = np.nonzero
+        less_equal = np.less_equal
+        logical_and = np.logical_and
+        logical_or = np.logical_or
+        logical_not = np.logical_not
+        minimum = np.minimum
+        maximum = np.maximum
+
+        cpu_ratio = config.cpu_cycles_per_dram_cycle
+        debt = 0.0
+        tick_total = 0
+        cycle = 0
+        quiet_min = 0
+        wake_min = 0
+
+        while cycle < dram_cycles:
+            if quiet_min <= cycle:
+                # --- due events: scalar handlers on the simulations they hit.
+                # No activity gate needed: ``quiet <= min(comp, nref, timer)``
+                # is an invariant of every quiet write, so a due simulation
+                # is always active.
+                if int(comp.min()) <= cycle:
+                    less_equal(comp, cycle, out=tmp_b)
+                    for s in nonzero(tmp_b)[0].tolist():
+                        # One-pass merge of ``due_completion_cores`` +
+                        # ``_complete_due``: each owner cell is settled
+                        # (pre-completion barrier) immediately before its
+                        # request's window flag flips, which is the same
+                        # order the event loop's two-pass barrier produces
+                        # -- a flag flip only affects *future* retirement,
+                        # and the owner is already exact here.
+                        controller = controllers[s]
+                        sim_cells = cells[s]
+                        stats = controller.stats
+                        still_pending = []
+                        earliest = NEVER
+                        for item in controller._pending_completions:
+                            done_cycle = item[0]
+                            if done_cycle <= cycle:
+                                request = item[1]
+                                core_id = request.core_id
+                                if core_id >= 0:
+                                    self._settle_cell(
+                                        s, sim_cells[core_id], cycle, tick_total
+                                    )
+                                request.complete(cycle)
+                                stats.read_latency_total += (
+                                    cycle - request.arrival_cycle
+                                )
+                                stats.read_latency_samples += 1
+                            else:
+                                still_pending.append(item)
+                                if done_cycle < earliest:
+                                    earliest = done_cycle
+                        controller._pending_completions = still_pending
+                        controller.earliest_completion_cycle = earliest
+                        comp[s] = earliest
+                        touched_b[s] = True
+                        touched_set.add(s)
+                        wake_min = 0
+                if int(nref.min()) <= cycle:
+                    less_equal(nref, cycle, out=tmp_b)
+                    for s in nonzero(tmp_b)[0].tolist():
+                        controllers[s]._maybe_refresh(cycle)
+                        touched_b[s] = True
+                        touched_set.add(s)
+                if int(timer.min()) <= cycle:
+                    less_equal(timer, cycle, out=tmp_b)
+                    for s in nonzero(tmp_b)[0].tolist():
+                        controllers[s]._fire_mitigation_timer(cycle)
+                        touched_b[s] = True
+                        touched_set.add(s)
+
+                # --- shared scan prep over the post-event arrays
+                less_equal(quiet, cycle, out=active_b)
+                np.greater(runtil, cycle, out=busy_b)
+                np.add(self.faw_old, self.tfaw, out=rank_eff)
+                maximum(rank_eff, self.rank_next, out=rank_eff)
+                np.subtract(self.bus_free, self.tcl, out=bus_ready)
+                np.greater_equal(self.open_row, 0, out=open_mask)
+                maximum(self.nact, rank_eff[:, None], out=b_oldr)
+                copyto(b_oldr, self.npre, where=open_mask)
+                less_equal(b_oldr, cycle, out=m_old)
+                logical_not(m_old, out=m_nold)
+                np.greater_equal(wlen, drain_level, out=drain_b)
+                np.equal(rlen, 0, out=tmp_b)
+                logical_or(drain_b, tmp_b, out=drain_b)
+
+                self._scan_all(cycle)
+
+                # --- horizon vector for the no-issue case
+                h_issue[...] = NEVER
+                copyto(h_issue, qhor[1], where=drain_b)
+                minimum(h_issue, qhor[0], out=h_issue)
+                copyto(h_issue, runtil, where=busy_b)
+                minimum(h_issue, nref, out=h_all)
+                minimum(h_all, comp, out=h_all)
+                minimum(h_all, timer, out=h_all)
+                maximum(h_all, cycle + 1, out=h_all)
+
+                # --- split the batch: most simulations just take a horizon
+                # (one masked copy); the few with work run the scalar loop.
+                minimum(hcand, ocand, out=cand2)
+                np.less(cand2, NEVER, out=cb2)  # per-queue candidate flags
+                logical_and(cb2[1], drain_b, out=ca)  # write candidate & drain
+                logical_or(ca, cb2[0], out=ca)
+                logical_or(ca, vict, out=ca)
+                logical_or(ca, touched_b, out=ca)  # candidates | victims | touched
+                logical_not(busy_b, out=cc)
+                logical_and(ca, cc, out=ca)
+                logical_or(ca, self.poll_b, out=ca)
+                logical_and(busy_b, touched_b, out=cb)  # busy & touched: skip
+                logical_not(cb, out=cb)
+                logical_and(cb, active_b, out=cb)  # base: active, not skipped
+                logical_and(ca, cb, out=ca)  # the scalar set
+                logical_not(ca, out=cd)
+                logical_and(cd, cb, out=cd)  # the pure-horizon set
+                copyto(quiet, h_all, where=cd)
+
+                if ca.any():
+                    scal_sims = nonzero(ca)[0].tolist()
+                    busy_l = busy_b.tolist()
+                    h_l = h_all.tolist()
+                    drain_l = drain_b.tolist()
+                    rh = hcand[0].tolist()
+                    ro = ocand[0].tolist()
+                    wh = hcand[1].tolist()
+                    wo = ocand[1].tolist()
+                    for s in scal_sims:
+                        controller = controllers[s]
+                        if busy_l[s]:
+                            # All-bank refresh in progress (a poll-mode
+                            # mechanism put this sim in the scalar set).
+                            h = h_l[s]
+                            poll = controller.mitigation.next_event_cycle(cycle)
+                            if poll is not None and poll < h:
+                                h = poll if poll > cycle + 1 else cycle + 1
+                            quiet[s] = h
+                            continue
+                        issued = False
+                        victim_horizon = None
+                        if controller.victim_queue:
+                            # Victim-refresh priority: run the full scalar
+                            # scheduler (rare, correctness-critical), tracking
+                            # pops for the channel wakes the issue may fire.
+                            read_pops = controller.read_pops
+                            write_pops = controller.write_pops
+                            victim_horizon = controller._schedule(cycle)
+                            issued = victim_horizon is None
+                            if not controller.victim_queue:
+                                vict[s] = False
+                            if defer[s]:
+                                if controller.write_pops != write_pops:
+                                    self._settle_channel(s, 0, cycle, tick_total)
+                                    wake_min = 0
+                                if controller.read_pops != read_pops:
+                                    self._settle_channel(s, 1, cycle, tick_total)
+                                    wake_min = 0
+                        elif rh[s] < NEVER:
+                            controller._issue_column_fast(rh[s] % B, cycle, False)
+                            issued = True
+                            if defer[s]:
+                                self._settle_channel(s, 1, cycle, tick_total)
+                                wake_min = 0
+                        elif ro[s] < NEVER:
+                            bank = ro[s] % B
+                            if controller._bank_open_row[bank] is not None:
+                                controller._issue_precharge(bank, cycle)
+                            else:
+                                controller._issue_activate(bank, cycle, False)
+                            issued = True
+                        elif drain_l[s]:
+                            if wh[s] < NEVER:
+                                controller._issue_column_fast(wh[s] % B, cycle, True)
+                                issued = True
+                                if defer[s]:
+                                    self._settle_channel(s, 0, cycle, tick_total)
+                                    wake_min = 0
+                            elif wo[s] < NEVER:
+                                bank = wo[s] % B
+                                if controller._bank_open_row[bank] is not None:
+                                    controller._issue_precharge(bank, cycle)
+                                else:
+                                    controller._issue_activate(bank, cycle, True)
+                                issued = True
+                        if issued or s in touched_set:
+                            quiet[s] = 0
+                        else:
+                            h = h_l[s]
+                            if victim_horizon is not None and victim_horizon < h:
+                                h = (
+                                    victim_horizon
+                                    if victim_horizon > cycle + 1
+                                    else cycle + 1
+                                )
+                            if polls[s]:
+                                poll = controller.mitigation.next_event_cycle(cycle)
+                                if poll is not None and poll < h:
+                                    h = poll if poll > cycle + 1 else cycle + 1
+                            quiet[s] = h
+                if touched_set:
+                    touched_b[:] = False
+                    touched_set.clear()
+
+            # --- core phase
+            debt += cpu_ratio
+            ticks = int(debt)
+            debt -= ticks
+            if ticks:
+                tick_total += ticks
+                if wake_min <= cycle:
+                    less_equal(wake, cycle, out=wake_due)
+                    due = nonzero(wake_due)
+                    s_list = due[0].tolist()
+                    c_list = due[1].tolist()
+                    i = 0
+                    n = len(s_list)
+                    while i < n:
+                        s = s_list[i]
+                        sim_cells = cells[s]
+                        slow = None
+                        while i < n and s_list[i] == s:
+                            c = c_list[i]
+                            i += 1
+                            cell = sim_cells[c]
+                            lag = tick_total - ticks - cell.synced_ticks
+                            if lag > 0:
+                                # Pure-bubble span up to this wake (the wake
+                                # bound proved it); make the cell exact
+                                # before classifying the current cycle.
+                                cell.apply_bubble_span(lag)
+                            cell.synced_ticks = tick_total
+                            # ``SimpleCore.fast_tick`` inlined (hot loop):
+                            # bulk-apply a pure-bubble or blocked span, or
+                            # fall through to exact ticking.
+                            iw = cell.issue_width
+                            retire_cap = ticks * iw
+                            bubbles = cell.bubbles
+                            if bubbles >= retire_cap:
+                                bubbles -= retire_cap
+                                cell.bubbles = bubbles
+                                cell.cpu_cycles += ticks
+                                cell.instructions += retire_cap
+                                window = cell.window
+                                if window and window[0].completed:
+                                    popped = 0
+                                    while (
+                                        popped < retire_cap
+                                        and window
+                                        and window[0].completed
+                                    ):
+                                        window.popleft()
+                                        popped += 1
+                                wake[s, c] = cycle + 1 + (bubbles // iw) // mtpc
+                            elif cell.record_blocked():
+                                cell.cpu_cycles += ticks
+                                if bubbles:
+                                    cell.bubbles = 0
+                                    cell.instructions += bubbles
+                                    progress_ticks = bubbles // iw
+                                    if bubbles - progress_ticks * iw:
+                                        progress_ticks += 1
+                                    cell.stall_cycles += ticks - progress_ticks
+                                else:
+                                    cell.stall_cycles += ticks
+                                window = cell.window
+                                if window and window[0].completed:
+                                    popped = 0
+                                    while (
+                                        popped < retire_cap
+                                        and window
+                                        and window[0].completed
+                                    ):
+                                        window.popleft()
+                                        popped += 1
+                                cell.deferred = True
+                                defer[s].append(cell)
+                                wake[s, c] = NEVER
+                            else:
+                                wake[s, c] = cycle + 1
+                                if slow is None:
+                                    slow = [cell]
+                                else:
+                                    slow.append(cell)
+                        if slow is not None:
+                            # Tick-major over the interacting cells, exactly
+                            # as the reference loop interleaves cores.
+                            for tick_index in range(ticks):
+                                if not slow:
+                                    break
+                                rest = ticks - tick_index - 1
+                                retained = 0
+                                for cell in slow:
+                                    if cell.tick(cycle) or not rest:
+                                        slow[retained] = cell
+                                        retained += 1
+                                    else:
+                                        cell.settle_stall(rest)
+                                del slow[retained:]
+                            # A cell that ends the span mid-bubble cannot
+                            # interact again before draining those bubbles;
+                            # park its wake at the same pure-bubble bound
+                            # ``fast_tick``'s bubble mode uses.
+                            for cell in slow:
+                                b = cell.bubbles
+                                if b:
+                                    wake[s, cell.core_id] = (
+                                        cycle + 1 + (b // cell.issue_width) // mtpc
+                                    )
+
+            # --- jump
+            next_cycle = cycle + 1
+            if next_cycle >= dram_cycles:
+                break
+            quiet_min = int(quiet.min())
+            wake_min = int(wake.min())
+            target = quiet_min if quiet_min < wake_min else wake_min
+            if target > next_cycle:
+                if target > dram_cycles:
+                    target = dram_cycles
+                total_ticks = 0
+                for _ in range(target - next_cycle):
+                    debt += cpu_ratio
+                    skipped = int(debt)
+                    debt -= skipped
+                    total_ticks += skipped
+                tick_total += total_ticks
+                cycle = target
+            else:
+                cycle = next_cycle
+
+        # --- final settle: make every cell exact, stamp the cycle counters
+        for s in range(self.num_sims):
+            for cell in cells[s]:
+                lag = tick_total - cell.synced_ticks
+                if cell.deferred:
+                    if lag:
+                        cell.settle_stall(lag)
+                    cell.deferred = False
+                elif lag:
+                    cell.apply_bubble_span(lag)
+                cell.synced_ticks = tick_total
+            defer[s].clear()
+        for controller in controllers:
+            controller.stats.cycles = dram_cycles
